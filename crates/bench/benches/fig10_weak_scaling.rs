@@ -1,0 +1,37 @@
+//! Figure 10 — weak scaling of PLP (left) and PLM (right) on a series of
+//! Kronecker/R-MAT graphs that double in size while the thread count
+//! doubles, with the paper's R-MAT parameters (0.57, 0.19, 0.19, 0.05) and
+//! edge factor 48. Perfect weak scaling would keep the time flat; the
+//! paper shows a visible jump from 1 to 2 threads (parallel overhead) and
+//! at the hyperthreading step.
+
+use parcom_bench::harness::{fmt_secs, print_table, time};
+use parcom_bench::weak_scaling_series;
+use parcom_core::{CommunityDetector, Plm, Plp};
+use parcom_graph::parallel::with_threads;
+
+fn main() {
+    // paper: log n = 16..22 with 1..32 threads; scaled down for the host
+    let series = weak_scaling_series(12, 4, 48);
+    let mut rows = Vec::new();
+    for (i, (scale, g)) in series.iter().enumerate() {
+        let threads = 1usize << i;
+        let (t_plp, t_plm) = with_threads(threads, || {
+            let (_, t_plp) = time(|| Plp::new().detect(g));
+            let (_, t_plm) = time(|| Plm::new().detect(g));
+            (t_plp, t_plm)
+        });
+        rows.push(vec![
+            format!("2^{scale}"),
+            g.edge_count().to_string(),
+            threads.to_string(),
+            fmt_secs(t_plp),
+            fmt_secs(t_plm),
+        ]);
+    }
+    print_table(
+        "Fig. 10: weak scaling on the Kronecker series (R-MAT 0.57/0.19/0.19/0.05, edge factor 48)",
+        &["n", "m", "threads", "PLP_time_s", "PLM_time_s"],
+        &rows,
+    );
+}

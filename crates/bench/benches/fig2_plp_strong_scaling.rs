@@ -1,0 +1,45 @@
+//! Figure 2 — PLP strong scaling on the massive web-graph stand-in
+//! (paper: uk-2007-05, threads 1..32). The thread sweep uses dedicated
+//! rayon pools; on a host without that many physical cores the speedup
+//! column documents the available shape only (DESIGN.md §2.2).
+
+use parcom_bench::harness::{edges_per_second, fmt_secs, print_table, time};
+use parcom_bench::suite::massive_graph;
+use parcom_core::{CommunityDetector, Plp};
+use parcom_graph::parallel::with_threads;
+
+fn main() {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let g = massive_graph(17, 16);
+    println!(
+        "PLP strong scaling on uk2007-rmat stand-in (n={}, m={}), host threads: {hw}",
+        g.node_count(),
+        g.edge_count()
+    );
+
+    let max_threads = hw.clamp(4, 32);
+    let mut rows = Vec::new();
+    let mut t1 = None;
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let (_, elapsed) = with_threads(threads, || {
+            time(|| {
+                let mut plp = Plp::new();
+                plp.detect(&g)
+            })
+        });
+        let base = *t1.get_or_insert(elapsed.as_secs_f64());
+        rows.push(vec![
+            threads.to_string(),
+            fmt_secs(elapsed),
+            format!("{:.2}", base / elapsed.as_secs_f64()),
+            format!("{:.1}M", edges_per_second(g.edge_count(), elapsed) / 1e6),
+        ]);
+        threads *= 2;
+    }
+    print_table(
+        "Fig. 2: PLP strong scaling",
+        &["threads", "time_s", "speedup", "edges/s"],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 3 — PLM strong scaling on the massive web-graph stand-in
+//! (paper: uk-2007-05, speedup ~12 at 32 threads). Both the move phase and
+//! the coarsening are parallel, so PLM scales like PLP with extra overhead.
+
+use parcom_bench::harness::{edges_per_second, fmt_secs, print_table, time};
+use parcom_bench::suite::massive_graph;
+use parcom_core::{CommunityDetector, Plm};
+use parcom_graph::parallel::with_threads;
+
+fn main() {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let g = massive_graph(17, 16);
+    println!(
+        "PLM strong scaling on uk2007-rmat stand-in (n={}, m={}), host threads: {hw}",
+        g.node_count(),
+        g.edge_count()
+    );
+
+    let max_threads = hw.clamp(4, 32);
+    let mut rows = Vec::new();
+    let mut t1 = None;
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let ((zeta, elapsed), _) = with_threads(threads, || {
+            (
+                time(|| {
+                    let mut plm = Plm::new();
+                    plm.detect(&g)
+                }),
+                (),
+            )
+        });
+        let base = *t1.get_or_insert(elapsed.as_secs_f64());
+        rows.push(vec![
+            threads.to_string(),
+            fmt_secs(elapsed),
+            format!("{:.2}", base / elapsed.as_secs_f64()),
+            format!("{:.1}M", edges_per_second(g.edge_count(), elapsed) / 1e6),
+            format!("{:.4}", parcom_core::quality::modularity(&g, &zeta)),
+        ]);
+        threads *= 2;
+    }
+    print_table(
+        "Fig. 3: PLM strong scaling",
+        &["threads", "time_s", "speedup", "edges/s", "modularity"],
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 4 — EPP(4,PLP,PLM) versus a single PLP: modularity difference
+//! (above) and running-time ratio (below) per network. Expected shape:
+//! EPP improves modularity on most instances at roughly 5× the PLP time on
+//! large networks; on small networks the ensemble overhead dominates.
+
+use parcom_bench::harness::{fmt_secs, print_table, run_measured};
+use parcom_bench::standard_suite;
+use parcom_core::{Epp, Plp};
+
+fn main() {
+    let mut rows = Vec::new();
+    for inst in standard_suite() {
+        let g = inst.graph();
+        let (_, plp) = run_measured(&mut Plp::new(), &g, inst.name);
+        let (_, epp) = run_measured(&mut Epp::plp_plm(4), &g, inst.name);
+        rows.push(vec![
+            inst.name.to_string(),
+            g.edge_count().to_string(),
+            format!("{:+.4}", epp.modularity - plp.modularity),
+            format!("{:.2}", epp.time.as_secs_f64() / plp.time.as_secs_f64()),
+            fmt_secs(plp.time),
+            fmt_secs(epp.time),
+            format!("{:.4}", plp.modularity),
+            format!("{:.4}", epp.modularity),
+        ]);
+    }
+    print_table(
+        "Fig. 4: EPP(4,PLP,PLM) vs single PLP",
+        &[
+            "network",
+            "m",
+            "mod_diff",
+            "time_ratio",
+            "t_PLP_s",
+            "t_EPP_s",
+            "mod_PLP",
+            "mod_EPP",
+        ],
+        &rows,
+    );
+
+    // §V-D ablation: ensemble size sweep on a mid-size instance
+    let suite = standard_suite();
+    let inst = suite.iter().find(|i| i.name == "livejournal-lfr").unwrap();
+    let g = inst.graph();
+    let mut rows = Vec::new();
+    for b in [1usize, 2, 4, 8] {
+        let (_, m) = run_measured(&mut Epp::plp_plm(b), &g, inst.name);
+        rows.push(vec![
+            b.to_string(),
+            format!("{:.4}", m.modularity),
+            fmt_secs(m.time),
+            m.communities.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 4 ablation (§V-D): EPP ensemble size sweep on livejournal-lfr",
+        &["b", "modularity", "time_s", "communities"],
+        &rows,
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 5 — the Pareto evaluation (§V-F): for every algorithm, the time
+//! score (geometric mean of running-time ratios vs the PLM baseline over
+//! the suite) against the modularity score (arithmetic mean of modularity
+//! differences vs PLM).
+//!
+//! Expected shape: PLP fastest at a quality deficit; PLM/PLMR in the lower
+//! right (fast and strong); EPP between; RG/CGGC/CGGCi best quality but an
+//! order of magnitude slower; CEL dominated (off the frontier); Louvain no
+//! longer on the frontier because it cannot use the cores.
+
+use parcom_bench::harness::{
+    arithmetic_mean, competitor_algorithms, geometric_mean, our_algorithms, print_table,
+    run_measured, Measurement,
+};
+use parcom_bench::standard_suite;
+use parcom_core::{CommunityDetector, Plm};
+
+fn main() {
+    let suite = standard_suite();
+    let graphs: Vec<_> = suite.iter().map(|i| i.graph()).collect();
+
+    // PLM baseline per instance
+    let baselines: Vec<Measurement> = suite
+        .iter()
+        .zip(&graphs)
+        .map(|(inst, g)| run_measured(&mut Plm::new(), g, inst.name).1)
+        .collect();
+
+    let mut algos: Vec<Box<dyn CommunityDetector + Send>> = our_algorithms();
+    algos.extend(competitor_algorithms());
+
+    let mut rows = Vec::new();
+    for mut algo in algos {
+        let mut time_ratios = Vec::new();
+        let mut mod_diffs = Vec::new();
+        for (i, inst) in suite.iter().enumerate() {
+            let (_, m) = run_measured(algo.as_mut(), &graphs[i], inst.name);
+            time_ratios.push((m.time.as_secs_f64() / baselines[i].time.as_secs_f64()).max(1e-6));
+            mod_diffs.push(m.modularity - baselines[i].modularity);
+        }
+        rows.push(vec![
+            algo.name(),
+            format!("{:.3}", geometric_mean(&time_ratios)),
+            format!("{:+.4}", arithmetic_mean(&mod_diffs)),
+        ]);
+    }
+    // sort by time score so the frontier reads top to bottom
+    rows.sort_by(|a, b| {
+        a[1].parse::<f64>()
+            .unwrap()
+            .partial_cmp(&b[1].parse::<f64>().unwrap())
+            .unwrap()
+    });
+    print_table(
+        "Fig. 5: Pareto evaluation (scores relative to PLM baseline)",
+        &["algorithm", "time_score(geo)", "mod_score(mean diff)"],
+        &rows,
+    );
+    println!("(lower-right is better: small time score, high modularity score)");
+}

@@ -1,0 +1,76 @@
+//! Figure 6 — performance of our algorithms with PLM as the baseline,
+//! per network: (a) PLM absolute time and modularity; (b) PLP, (c) PLMR,
+//! (d) EPP(4,PLP,PLM), (e) EPP(4,PLP,PLMR), each relative to PLM.
+//!
+//! Expected shape: PLP solves instances in 10–20% of PLM's time at a clear
+//! modularity loss; PLMR adds a little time for a modularity gain; the EPP
+//! variants land between PLP and PLM on both axes.
+
+use parcom_bench::harness::{fmt_secs, print_table, run_measured, Measurement};
+use parcom_bench::standard_suite;
+use parcom_core::{CommunityDetector, Epp, Plm, Plp};
+
+fn algorithms() -> Vec<Box<dyn CommunityDetector + Send>> {
+    vec![
+        Box::new(Plp::new()),
+        Box::new(Plm::with_refinement()),
+        Box::new(Epp::plp_plm(4)),
+        Box::new(Epp::plp_plmr(4)),
+    ]
+}
+
+fn main() {
+    // (a) the PLM baseline, absolute numbers
+    let suite = standard_suite();
+    let mut baselines: Vec<(String, Measurement)> = Vec::new();
+    let mut rows = Vec::new();
+    let mut graphs = Vec::new();
+    for inst in &suite {
+        let g = inst.graph();
+        let (_, m) = run_measured(&mut Plm::new(), &g, inst.name);
+        rows.push(vec![
+            inst.name.to_string(),
+            g.edge_count().to_string(),
+            fmt_secs(m.time),
+            format!("{:.4}", m.modularity),
+            m.communities.to_string(),
+        ]);
+        baselines.push((inst.name.to_string(), m));
+        graphs.push(g);
+    }
+    print_table(
+        "Fig. 6a: PLM baseline (absolute)",
+        &["network", "m", "time_s", "modularity", "communities"],
+        &rows,
+    );
+
+    // (b)-(e): each algorithm relative to PLM
+    for mut algo in algorithms() {
+        let mut rows = Vec::new();
+        for (i, inst) in suite.iter().enumerate() {
+            let g = &graphs[i];
+            let (_, m) = run_measured(algo.as_mut(), g, inst.name);
+            let base = &baselines[i].1;
+            rows.push(vec![
+                inst.name.to_string(),
+                format!("{:.2}", m.time.as_secs_f64() / base.time.as_secs_f64()),
+                format!("{:+.4}", m.modularity - base.modularity),
+                fmt_secs(m.time),
+                format!("{:.4}", m.modularity),
+                m.communities.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 6: {} relative to PLM", algo.name()),
+            &[
+                "network",
+                "time/PLM",
+                "mod-PLM",
+                "time_s",
+                "modularity",
+                "communities",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 7 — competitors relative to the PLM baseline, per network:
+//! (a) sequential Louvain, (b) CLU_TBB-analogue (PAM) and CEL, (c) RG,
+//! (d) CGGC, (e) CGGCi. CNM is included as the classic reference point.
+//!
+//! Expected shape: Louvain matches PLM's modularity but cannot beat its
+//! time on large instances; PAM is fast with a quality gap; CEL is clearly
+//! worse in quality; RG and the CGGC ensembles reach the best modularity at
+//! by far the highest running times.
+
+use parcom_bench::harness::{
+    competitor_algorithms, fmt_secs, print_table, run_measured, Measurement,
+};
+use parcom_bench::standard_suite;
+use parcom_core::Plm;
+
+fn main() {
+    let suite = standard_suite();
+    let mut baselines: Vec<Measurement> = Vec::new();
+    let mut graphs = Vec::new();
+    for inst in &suite {
+        let g = inst.graph();
+        let (_, m) = run_measured(&mut Plm::new(), &g, inst.name);
+        baselines.push(m);
+        graphs.push(g);
+    }
+
+    for mut algo in competitor_algorithms() {
+        let mut rows = Vec::new();
+        for (i, inst) in suite.iter().enumerate() {
+            let g = &graphs[i];
+            let (_, m) = run_measured(algo.as_mut(), g, inst.name);
+            let base = &baselines[i];
+            rows.push(vec![
+                inst.name.to_string(),
+                format!("{:.2}", m.time.as_secs_f64() / base.time.as_secs_f64()),
+                format!("{:+.4}", m.modularity - base.modularity),
+                fmt_secs(m.time),
+                format!("{:.4}", m.modularity),
+                m.communities.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 7: {} relative to PLM", algo.name()),
+            &[
+                "network",
+                "time/PLM",
+                "mod-PLM",
+                "time_s",
+                "modularity",
+                "communities",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks of the hot kernels: modularity scoring, the
+//! PLM move phase, parallel coarsening, PLP end-to-end, and the djb2
+//! ensemble combine. These are the operations the paper's implementation
+//! notes single out (§III-B: Δmod evaluation and coarsening dominate PLM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parcom_core::combine::core_communities;
+use parcom_core::quality::modularity;
+use parcom_core::{move_phase, CommunityDetector, Plm, Plp};
+use parcom_generators::{lfr, LfrParams};
+use parcom_graph::{coarsen, Partition};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let (g, truth) = lfr(LfrParams::benchmark(5_000, 0.3), 77);
+    let zeta = Plm::new().detect(&g);
+
+    let mut group = c.benchmark_group("kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("modularity_5k", |b| {
+        b.iter(|| black_box(modularity(&g, &zeta)))
+    });
+
+    group.bench_function("move_phase_singletons_5k", |b| {
+        b.iter(|| {
+            let mut p = Partition::singleton(g.node_count());
+            black_box(move_phase(&g, &mut p, 1.0, 4))
+        })
+    });
+
+    group.bench_function("coarsen_5k", |b| b.iter(|| black_box(coarsen(&g, &zeta))));
+
+    group.bench_function("plp_full_5k", |b| {
+        b.iter(|| black_box(Plp::new().detect(&g)))
+    });
+
+    group.bench_function("plm_full_5k", |b| {
+        b.iter(|| black_box(Plm::new().detect(&g)))
+    });
+
+    let bases: Vec<Partition> = (0..4)
+        .map(|i| Plp::with_seed(i as u64 + 1).detect(&g))
+        .collect();
+    group.bench_function("djb2_combine_4x5k", |b| {
+        b.iter(|| black_box(core_communities(&bases)))
+    });
+
+    let _ = truth;
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Implementations of the CLI subcommands.
+
+use crate::args::Args;
+use parcom_core::{
+    compare, quality, Cggc, Cnm, CommunityDetector, CommunityGraph, Epp, EppIterated, Louvain, Pam,
+    Plm, Plp, Rg,
+};
+use parcom_graph::stats::{summarize, SummaryOptions};
+use parcom_graph::{Graph, Partition};
+use std::error::Error;
+use std::path::Path;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Reads a graph, dispatching on the file extension: `.metis`/`.graph` are
+/// METIS, everything else is treated as an edge list.
+fn load_graph(path: &str) -> Result<Graph, Box<dyn Error>> {
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let g = if matches!(ext, "metis" | "graph") {
+        parcom_io::read_metis(path)?
+    } else {
+        parcom_io::read_edge_list(path)?.graph
+    };
+    Ok(g)
+}
+
+/// Builds the requested algorithm.
+fn make_algorithm(args: &Args) -> Result<Box<dyn CommunityDetector + Send>, Box<dyn Error>> {
+    let gamma: f64 = args.get_or("gamma", 1.0)?;
+    let ensemble: usize = args.get_or("ensemble", 4)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let algo: Box<dyn CommunityDetector + Send> = match args.require("algo")? {
+        "plp" => Box::new(Plp::with_seed(seed)),
+        "plm" => Box::new(Plm::with_gamma(gamma)),
+        "plmr" => Box::new(Plm {
+            refine: true,
+            gamma,
+            ..Plm::default()
+        }),
+        "epp" => Box::new(Epp::plp_plm(ensemble)),
+        "eppr" => Box::new(Epp::plp_plmr(ensemble)),
+        "eml" => Box::new(EppIterated::new(ensemble)),
+        "louvain" => Box::new(Louvain::with_seed(seed)),
+        "pam" => Box::new(Pam::new()),
+        "cel" => Box::new(Pam::cel()),
+        "cnm" => Box::new(Cnm::new()),
+        "rg" => Box::new(Rg::with_seed(seed)),
+        "cggc" => Box::new(Cggc::new(ensemble)),
+        "cggci" => Box::new(Cggc::iterated(ensemble)),
+        other => return Err(format!("unknown algorithm `{other}`").into()),
+    };
+    Ok(algo)
+}
+
+/// `parcom generate`
+pub fn generate(args: &Args) -> CmdResult {
+    use parcom_generators as gen;
+    let out = args.require("out")?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let n: usize = args.get_or("n", 10_000)?;
+    let (g, truth): (Graph, Option<Partition>) = match args.require("model")? {
+        "lfr" => {
+            let mu: f64 = args.get_or("mu", 0.3)?;
+            let (g, t) = gen::lfr(gen::LfrParams::benchmark(n, mu), seed);
+            (g, Some(t))
+        }
+        "rmat" => {
+            let scale: u32 = args.get_or("scale", 14)?;
+            let ef: usize = args.get_or("edge-factor", 16)?;
+            (
+                gen::rmat(gen::RmatParams::paper_with_edge_factor(scale, ef), seed),
+                None,
+            )
+        }
+        "ba" => {
+            let attach: usize = args.get_or("attach", 2)?;
+            (gen::barabasi_albert(n, attach, seed), None)
+        }
+        "ws" => {
+            let k: usize = args.get_or("k", 2)?;
+            let beta: f64 = args.get_or("beta", 0.05)?;
+            (gen::watts_strogatz(n, k, beta, seed), None)
+        }
+        "er" => {
+            let p: f64 = args.get_or("p", 0.001)?;
+            (gen::erdos_renyi(n, p, seed), None)
+        }
+        "grid" => {
+            let w: usize = args.get_or("width", 100)?;
+            let h: usize = args.get_or("height", 100)?;
+            (gen::grid2d(w, h), None)
+        }
+        "planted" => {
+            let k: usize = args.get_or("k", 10)?;
+            let p_in: f64 = args.get_or("p-in", 0.05)?;
+            let p_out: f64 = args.get_or("p-out", 0.002)?;
+            let (g, t) =
+                gen::planted_partition(gen::PlantedPartitionParams { n, k, p_in, p_out }, seed);
+            (g, Some(t))
+        }
+        "cliques" => {
+            let k: usize = args.get_or("k", 10)?;
+            let s: usize = args.get_or("size", 10)?;
+            let (g, t) = gen::ring_of_cliques(k, s);
+            (g, Some(t))
+        }
+        other => return Err(format!("unknown model `{other}`").into()),
+    };
+    parcom_io::write_metis(&g, out)?;
+    println!("wrote {out}: n={}, m={}", g.node_count(), g.edge_count());
+    if let Some(truth_path) = args.get("truth") {
+        match truth {
+            Some(t) => {
+                parcom_io::write_partition(&t, truth_path)?;
+                println!(
+                    "wrote ground truth ({} communities) to {truth_path}",
+                    t.number_of_subsets()
+                );
+            }
+            None => eprintln!("note: model has no ground truth; --truth ignored"),
+        }
+    }
+    Ok(())
+}
+
+/// `parcom detect`
+pub fn detect(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_graph(input)?;
+    let mut algo = make_algorithm(args)?;
+    let threads: usize = args.get_or("threads", 0)?;
+
+    let run = |algo: &mut Box<dyn CommunityDetector + Send>| {
+        let start = std::time::Instant::now();
+        let zeta = algo.detect(&g);
+        (zeta, start.elapsed())
+    };
+    let (zeta, elapsed) = if threads > 0 {
+        parcom_graph::parallel::with_threads(threads, || run(&mut algo))
+    } else {
+        run(&mut algo)
+    };
+
+    println!(
+        "{} on {input}: n={} m={} -> {} communities, modularity {:.4}, coverage {:.4}, {:.3}s ({:.1}M edges/s)",
+        algo.name(),
+        g.node_count(),
+        g.edge_count(),
+        zeta.number_of_subsets(),
+        quality::modularity(&g, &zeta),
+        quality::coverage(&g, &zeta),
+        elapsed.as_secs_f64(),
+        g.edge_count() as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6,
+    );
+    if let Some(out) = args.get("out") {
+        parcom_io::write_partition(&zeta, out)?;
+        println!("wrote partition to {out}");
+    }
+    Ok(())
+}
+
+/// `parcom stats`
+pub fn stats(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_graph(input)?;
+    let s = summarize(&g, SummaryOptions::default());
+    println!("graph {input}");
+    println!("  nodes:       {}", s.nodes);
+    println!("  edges:       {}", s.edges);
+    println!("  max degree:  {}", s.max_degree);
+    println!("  components:  {}", s.components);
+    println!("  avg LCC:     {:.4}", s.avg_lcc);
+    println!(
+        "  avg degree:  {:.2}",
+        parcom_graph::stats::average_degree(&g)
+    );
+    match parcom_graph::assortativity::degree_assortativity(&g) {
+        Some(r) => println!("  assortativity: {r:+.3}"),
+        None => println!("  assortativity: undefined"),
+    }
+    Ok(())
+}
+
+/// `parcom compare`
+pub fn compare(args: &Args) -> CmdResult {
+    let a = parcom_io::read_partition(args.require("a")?)?;
+    let b = parcom_io::read_partition(args.require("b")?)?;
+    if a.len() != b.len() {
+        return Err(format!(
+            "partitions cover different node sets ({} vs {})",
+            a.len(),
+            b.len()
+        )
+        .into());
+    }
+    println!("jaccard index:  {:.4}", compare::jaccard_index(&a, &b));
+    println!("rand index:     {:.4}", compare::rand_index(&a, &b));
+    println!(
+        "adjusted rand:  {:.4}",
+        compare::adjusted_rand_index(&a, &b)
+    );
+    println!("NMI:            {:.4}", compare::nmi(&a, &b));
+    Ok(())
+}
+
+/// `parcom cg` — export the community graph as DOT.
+pub fn community_graph(args: &Args) -> CmdResult {
+    let g = load_graph(args.require("input")?)?;
+    let zeta = parcom_io::read_partition(args.require("partition")?)?;
+    if zeta.len() != g.node_count() {
+        return Err("partition does not cover the graph".into());
+    }
+    let out = args.require("out")?;
+    let cg = CommunityGraph::build(&g, &zeta);
+    parcom_io::write_community_graph_dot(&cg, "communities", out)?;
+    println!(
+        "wrote community graph ({} communities, largest {}) to {out}",
+        cg.community_count(),
+        cg.max_community_size()
+    );
+    Ok(())
+}

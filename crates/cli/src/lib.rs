@@ -1,0 +1,7 @@
+#![warn(missing_docs)]
+
+//! Library surface of the `parcom` CLI (exposed for integration testing;
+//! the binary in `main.rs` is a thin wrapper).
+
+pub mod args;
+pub mod commands;

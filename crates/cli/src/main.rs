@@ -1,0 +1,63 @@
+//! `parcom` — command-line front-end for the library.
+//!
+//! The paper ships its algorithms inside NetworKit, whose Python layer
+//! supports interactive analysis workflows; this binary is the equivalent
+//! scriptable entry point:
+//!
+//! ```text
+//! parcom generate --model lfr --n 10000 --mu 0.3 --out g.metis [--truth t.part]
+//! parcom detect   --input g.metis --algo plm [--out z.part] [--threads 4]
+//! parcom stats    --input g.metis
+//! parcom compare  --a z.part --b t.part
+//! parcom cg       --input g.metis --partition z.part --out communities.dot
+//! ```
+
+use parcom_cli::{args::Args, commands};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        print_usage();
+        return;
+    }
+    let parsed = match Args::parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "detect" => commands::detect(&parsed),
+        "stats" => commands::stats(&parsed),
+        "compare" => commands::compare(&parsed),
+        "cg" => commands::community_graph(&parsed),
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "parcom — parallel community detection\n\
+         \n\
+         commands:\n\
+         \x20 generate --model <lfr|rmat|ba|ws|er|grid|planted|cliques> --out FILE [model flags] [--truth FILE]\n\
+         \x20 detect   --input FILE --algo <plp|plm|plmr|epp|eppr|eml|louvain|pam|cel|cnm|rg|cggc|cggci>\n\
+         \x20          [--out FILE] [--threads N] [--gamma X] [--ensemble B] [--seed S]\n\
+         \x20 stats    --input FILE\n\
+         \x20 compare  --a PARTITION --b PARTITION\n\
+         \x20 cg       --input FILE --partition FILE --out FILE.dot\n\
+         \n\
+         graph files: .metis/.graph (METIS) or anything else (edge list)."
+    );
+}

@@ -1,0 +1,251 @@
+//! Shared machinery for agglomerative modularity maximizers (CNM, RG).
+//!
+//! Both algorithms maintain the same state — per-community volumes,
+//! intra-community weight, and symmetric between-community weight maps —
+//! and differ only in *which* merge they execute next. [`MergeState`]
+//! provides the state, Δmod scoring of a candidate merge, and merge
+//! execution with neighbor-map rewiring.
+
+use parcom_graph::hashing::FxHashMap;
+use parcom_graph::{Graph, Partition};
+
+/// Mutable state of an agglomeration over the communities of a graph.
+pub struct MergeState {
+    /// ω(E).
+    pub total: f64,
+    /// Resolution parameter.
+    pub gamma: f64,
+    /// Whether a community id is still alive (not yet absorbed).
+    pub active: Vec<bool>,
+    /// vol(C) per community.
+    pub vol: Vec<f64>,
+    /// ω(C): intra-community weight per community.
+    pub intra: Vec<f64>,
+    /// Symmetric inter-community weight maps.
+    pub between: Vec<FxHashMap<u32, f64>>,
+    /// Absorption chain: `merged_into[c]` is the community that absorbed
+    /// `c` (or `c` itself while alive).
+    pub merged_into: Vec<u32>,
+    /// Version counters for lazy invalidation of queued merge candidates.
+    pub version: Vec<u64>,
+    /// Number of currently active communities.
+    pub active_count: usize,
+}
+
+impl MergeState {
+    /// Initializes with every node of `g` as its own community.
+    pub fn new(g: &Graph, gamma: f64) -> Self {
+        let n = g.node_count();
+        let mut between: Vec<FxHashMap<u32, f64>> = vec![FxHashMap::default(); n];
+        let mut intra = vec![0.0; n];
+        g.for_edges(|u, v, w| {
+            if u == v {
+                intra[u as usize] += w;
+            } else {
+                *between[u as usize].entry(v).or_insert(0.0) += w;
+                *between[v as usize].entry(u).or_insert(0.0) += w;
+            }
+        });
+        Self {
+            total: g.total_edge_weight(),
+            gamma,
+            active: vec![true; n],
+            vol: g.nodes().map(|u| g.volume(u)).collect(),
+            intra,
+            between,
+            merged_into: (0..n as u32).collect(),
+            version: vec![0; n],
+            active_count: n,
+        }
+    }
+
+    /// Δmod of merging active communities `a` and `b`.
+    #[inline]
+    pub fn delta(&self, a: u32, b: u32) -> f64 {
+        let w_ab = self.between[a as usize].get(&b).copied().unwrap_or(0.0);
+        w_ab / self.total
+            - self.gamma * self.vol[a as usize] * self.vol[b as usize]
+                / (2.0 * self.total * self.total)
+    }
+
+    /// Merges `a` and `b`; the community with the larger neighbor map
+    /// survives. Returns the surviving id. Panics if either side is dead.
+    pub fn merge(&mut self, a: u32, b: u32) -> u32 {
+        assert!(self.active[a as usize] && self.active[b as usize] && a != b);
+        let (survivor, absorbed) =
+            if self.between[a as usize].len() >= self.between[b as usize].len() {
+                (a, b)
+            } else {
+                (b, a)
+            };
+        let (s, o) = (survivor as usize, absorbed as usize);
+
+        let w_so = self.between[s].remove(&absorbed).unwrap_or(0.0);
+        self.intra[s] += self.intra[o] + w_so;
+        self.vol[s] += self.vol[o];
+
+        let o_neighbors = std::mem::take(&mut self.between[o]);
+        for (c, w) in o_neighbors {
+            if c == survivor {
+                continue;
+            }
+            let cm = &mut self.between[c as usize];
+            cm.remove(&absorbed);
+            *cm.entry(survivor).or_insert(0.0) += w;
+            *self.between[s].entry(c).or_insert(0.0) += w;
+        }
+
+        self.active[o] = false;
+        self.merged_into[o] = survivor;
+        self.version[s] += 1;
+        self.version[o] += 1;
+        self.active_count -= 1;
+        survivor
+    }
+
+    /// Modularity of the current community structure.
+    pub fn modularity(&self) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        let mut q = 0.0;
+        for c in 0..self.active.len() {
+            if self.active[c] {
+                let vol = self.vol[c] / (2.0 * self.total);
+                q += self.intra[c] / self.total - self.gamma * vol * vol;
+            }
+        }
+        q
+    }
+
+    /// Resolves a (possibly absorbed) community id to its live
+    /// representative, compressing the chain.
+    pub fn find(&mut self, mut c: u32) -> u32 {
+        while self.merged_into[c as usize] != c {
+            let next = self.merged_into[c as usize];
+            self.merged_into[c as usize] = self.merged_into[next as usize];
+            c = next;
+        }
+        c
+    }
+
+    /// Extracts the current community assignment over the original nodes.
+    pub fn to_partition(&mut self) -> Partition {
+        let n = self.merged_into.len();
+        let mut p = Partition::from_vec((0..n as u32).map(|v| self.find(v)).collect::<Vec<_>>());
+        p.compact();
+        p
+    }
+}
+
+/// An f64 Δmod value with a total order, for use in `BinaryHeap`.
+/// Construction asserts the value is not NaN.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedDelta(pub f64);
+
+impl Eq for OrderedDelta {}
+
+impl PartialOrd for OrderedDelta {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedDelta {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN delta")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::modularity;
+    use parcom_graph::GraphBuilder;
+
+    fn two_triangles() -> Graph {
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn initial_state_matches_graph() {
+        let g = two_triangles();
+        let s = MergeState::new(&g, 1.0);
+        assert_eq!(s.active_count, 6);
+        assert_eq!(s.vol[2], 3.0);
+        assert_eq!(s.between[2].get(&3), Some(&1.0));
+        assert!((s.modularity() - modularity(&g, &Partition::singleton(6))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_matches_modularity_difference() {
+        let g = two_triangles();
+        let mut s = MergeState::new(&g, 1.0);
+        let before = s.modularity();
+        let predicted = s.delta(0, 1);
+        s.merge(0, 1);
+        let after = s.modularity();
+        assert!((after - before - predicted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_triangles_reaches_natural_partition() {
+        let g = two_triangles();
+        let mut s = MergeState::new(&g, 1.0);
+        let a = s.merge(0, 1);
+        let _ = s.merge(a, 2);
+        let b = s.merge(3, 4);
+        let _ = s.merge(b, 5);
+        assert_eq!(s.active_count, 2);
+        let p = s.to_partition();
+        assert_eq!(p.number_of_subsets(), 2);
+        assert!((s.modularity() - modularity(&g, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn between_maps_stay_symmetric() {
+        let g = two_triangles();
+        let mut s = MergeState::new(&g, 1.0);
+        let a = s.merge(1, 2);
+        let live: Vec<u32> = (0..6).filter(|&c| s.active[c as usize]).collect();
+        for &x in &live {
+            for (&y, &w) in s.between[x as usize].iter() {
+                assert!(s.active[y as usize], "dead neighbor {y} referenced");
+                assert_eq!(s.between[y as usize].get(&x), Some(&w));
+            }
+        }
+        assert!(s.between[a as usize].contains_key(&3) || s.between[3].contains_key(&a));
+    }
+
+    #[test]
+    fn find_compresses_chains() {
+        let g = two_triangles();
+        let mut s = MergeState::new(&g, 1.0);
+        let a = s.merge(0, 1);
+        let b = s.merge(a, 2);
+        assert_eq!(s.find(0), b);
+        assert_eq!(s.find(1), b);
+        assert_eq!(s.find(2), b);
+    }
+
+    #[test]
+    fn ordered_delta_orders() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((OrderedDelta(0.1), 1));
+        heap.push((OrderedDelta(0.5), 2));
+        heap.push((OrderedDelta(-0.3), 3));
+        assert_eq!(heap.pop().unwrap().1, 2);
+        assert_eq!(heap.pop().unwrap().1, 1);
+    }
+
+    #[test]
+    fn self_loops_enter_intra() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 2.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let s = MergeState::new(&g, 1.0);
+        assert_eq!(s.intra[0], 2.0);
+        assert_eq!(s.vol[0], 5.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The common interface of all community detection algorithms.
+
+use parcom_graph::{Graph, Partition};
+
+/// A (possibly stateful) community detection algorithm.
+///
+/// `detect` consumes no graph state — graphs are immutable — but takes
+/// `&mut self` so algorithms can record run statistics (e.g. PLP's
+/// per-iteration label counts for Fig. 1) and advance internal RNG state
+/// between ensemble runs.
+pub trait CommunityDetector {
+    /// Human-readable algorithm label as used in the paper's figures
+    /// (e.g. `"PLM"`, `"EPP(4,PLP,PLM)"`).
+    fn name(&self) -> String;
+
+    /// Detects communities in `g`.
+    fn detect(&mut self, g: &Graph) -> Partition;
+}
+
+impl<T: CommunityDetector + ?Sized> CommunityDetector for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        (**self).detect(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Trivial;
+    impl CommunityDetector for Trivial {
+        fn name(&self) -> String {
+            "Trivial".into()
+        }
+        fn detect(&mut self, g: &Graph) -> Partition {
+            Partition::all_in_one(g.node_count())
+        }
+    }
+
+    #[test]
+    fn boxed_detector_delegates() {
+        let mut boxed: Box<dyn CommunityDetector> = Box::new(Trivial);
+        assert_eq!(boxed.name(), "Trivial");
+        let g = parcom_graph::GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(boxed.detect(&g).number_of_subsets(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Community graphs — the visualization pipeline of Fig. 11.
+//!
+//! Coarsening the input graph by a solution yields the *community graph*:
+//! one node per community (sized by member count), edges weighted by
+//! inter-community edge weight. The paper uses it to contrast the resolution
+//! of PLP (~1000 communities on PGPgiantcompo) with PLM/PLMR/EPP (~100).
+
+use parcom_graph::{coarsen, Graph, Partition};
+
+/// A community graph with per-community statistics.
+#[derive(Clone, Debug)]
+pub struct CommunityGraph {
+    /// The contracted graph (self-loops carry intra-community weight).
+    pub graph: Graph,
+    /// Member count per community (indexed by coarse node id).
+    pub sizes: Vec<usize>,
+    /// Fine-to-coarse mapping.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+impl CommunityGraph {
+    /// Builds the community graph of `zeta` over `g`.
+    pub fn build(g: &Graph, zeta: &Partition) -> Self {
+        let contraction = coarsen(g, zeta);
+        let mut sizes = vec![0usize; contraction.coarse.node_count()];
+        for &c in &contraction.fine_to_coarse {
+            sizes[c as usize] += 1;
+        }
+        Self {
+            graph: contraction.coarse,
+            sizes,
+            fine_to_coarse: contraction.fine_to_coarse,
+        }
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest community.
+    pub fn max_community_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Histogram of community sizes in power-of-two buckets:
+    /// `hist[i]` counts communities with size in `[2^i, 2^(i+1))`.
+    pub fn size_histogram(&self) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for &s in &self.sizes {
+            if s == 0 {
+                continue;
+            }
+            let bucket = (usize::BITS - 1 - s.leading_zeros()) as usize;
+            if hist.len() <= bucket {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_generators::ring_of_cliques;
+
+    #[test]
+    fn sizes_match_partition() {
+        let (g, truth) = ring_of_cliques(4, 5);
+        let cg = CommunityGraph::build(&g, &truth);
+        assert_eq!(cg.community_count(), 4);
+        assert_eq!(cg.sizes, vec![5, 5, 5, 5]);
+        assert_eq!(cg.max_community_size(), 5);
+    }
+
+    #[test]
+    fn ring_structure_survives() {
+        let (g, truth) = ring_of_cliques(5, 4);
+        let cg = CommunityGraph::build(&g, &truth);
+        // community graph of a ring of cliques is a 5-cycle with self-loops
+        assert_eq!(cg.graph.node_count(), 5);
+        for c in cg.graph.nodes() {
+            assert_eq!(cg.graph.neighbors(c).iter().filter(|&&x| x != c).count(), 2);
+            assert_eq!(cg.graph.self_loop_weight(c), 6.0); // C(4,2) intra edges
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_log_size() {
+        let (g, _) = ring_of_cliques(3, 4);
+        // sizes 4, 4, 4 → bucket 2 ([4,8))
+        let p = Partition::from_vec(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+        let cg = CommunityGraph::build(&g, &p);
+        assert_eq!(cg.size_histogram(), vec![0, 0, 3]);
+    }
+
+    #[test]
+    fn mixed_sizes_histogram() {
+        let (g, _) = ring_of_cliques(2, 4);
+        let p = Partition::from_vec(vec![0, 1, 1, 1, 1, 1, 1, 1]); // sizes 1 and 7
+        let cg = CommunityGraph::build(&g, &p);
+        assert_eq!(cg.size_histogram(), vec![1, 0, 1]);
+    }
+}

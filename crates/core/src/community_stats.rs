@@ -1,0 +1,197 @@
+//! Per-community structural statistics: size, volume, cut, conductance and
+//! internal density — the standard per-community diagnostics (NetworKit's
+//! community evaluation suite) complementing the single-number modularity.
+
+use parcom_graph::{Graph, Partition};
+
+/// Statistics of a single community.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityStat {
+    /// Number of member nodes.
+    pub size: usize,
+    /// ω(C): internal edge weight (self-loops once).
+    pub intra_weight: f64,
+    /// Weight of edges leaving the community.
+    pub cut_weight: f64,
+    /// vol(C): summed member volumes.
+    pub volume: f64,
+}
+
+impl CommunityStat {
+    /// Conductance: cut / min(vol, vol(V) − vol). 0 for isolated
+    /// communities; lower is better. `total_volume` is vol(V) = 2ω(E).
+    pub fn conductance(&self, total_volume: f64) -> f64 {
+        let denom = self.volume.min(total_volume - self.volume);
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.cut_weight / denom
+        }
+    }
+
+    /// Internal edge density relative to a complete community (unweighted
+    /// notion; uses weight as count for weighted graphs).
+    pub fn internal_density(&self) -> f64 {
+        if self.size < 2 {
+            return 0.0;
+        }
+        let pairs = (self.size * (self.size - 1) / 2) as f64;
+        self.intra_weight / pairs
+    }
+}
+
+/// Statistics for every community of `zeta` (indexed by community id up to
+/// `zeta.upper_bound()`; unused ids yield empty stats).
+pub fn community_stats(g: &Graph, zeta: &Partition) -> Vec<CommunityStat> {
+    assert_eq!(zeta.len(), g.node_count(), "partition does not cover graph");
+    let k = zeta.upper_bound() as usize;
+    let mut stats = vec![
+        CommunityStat {
+            size: 0,
+            intra_weight: 0.0,
+            cut_weight: 0.0,
+            volume: 0.0,
+        };
+        k
+    ];
+    for u in g.nodes() {
+        let cu = zeta.subset_of(u) as usize;
+        stats[cu].size += 1;
+        stats[cu].volume += g.volume(u);
+        for (v, w) in g.edges_of(u) {
+            if v == u {
+                stats[cu].intra_weight += w;
+            } else if zeta.subset_of(v) as usize == cu {
+                if v > u {
+                    stats[cu].intra_weight += w;
+                }
+            } else {
+                stats[cu].cut_weight += w;
+            }
+        }
+    }
+    stats
+}
+
+/// Summary over all non-empty communities: count, min/median/max size and
+/// mean conductance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionSummary {
+    /// Number of non-empty communities.
+    pub count: usize,
+    /// Smallest community size.
+    pub min_size: usize,
+    /// Median community size.
+    pub median_size: usize,
+    /// Largest community size.
+    pub max_size: usize,
+    /// Mean conductance over non-empty communities.
+    pub mean_conductance: f64,
+}
+
+/// Computes the [`PartitionSummary`] of `zeta` over `g`.
+pub fn partition_summary(g: &Graph, zeta: &Partition) -> PartitionSummary {
+    let stats = community_stats(g, zeta);
+    let total_volume = 2.0 * g.total_edge_weight();
+    let mut sizes: Vec<usize> = stats
+        .iter()
+        .filter(|s| s.size > 0)
+        .map(|s| s.size)
+        .collect();
+    sizes.sort_unstable();
+    let count = sizes.len();
+    if count == 0 {
+        return PartitionSummary {
+            count: 0,
+            min_size: 0,
+            median_size: 0,
+            max_size: 0,
+            mean_conductance: 0.0,
+        };
+    }
+    let mean_conductance = stats
+        .iter()
+        .filter(|s| s.size > 0)
+        .map(|s| s.conductance(total_volume))
+        .sum::<f64>()
+        / count as f64;
+    PartitionSummary {
+        count,
+        min_size: sizes[0],
+        median_size: sizes[count / 2],
+        max_size: sizes[count - 1],
+        mean_conductance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_generators::ring_of_cliques;
+    use parcom_graph::GraphBuilder;
+
+    #[test]
+    fn stats_of_two_triangles() {
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let p = Partition::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        let stats = community_stats(&g, &p);
+        assert_eq!(stats[0].size, 3);
+        assert_eq!(stats[0].intra_weight, 3.0);
+        assert_eq!(stats[0].cut_weight, 1.0);
+        assert_eq!(stats[0].volume, 7.0);
+        assert_eq!(stats[1], stats[0].clone());
+        // conductance: 1 / min(7, 14-7) = 1/7
+        assert!((stats[0].conductance(14.0) - 1.0 / 7.0).abs() < 1e-12);
+        // internal density: 3 edges of 3 possible pairs
+        assert!((stats[0].internal_density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_counts_each_cross_edge_per_side() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let p = Partition::from_vec(vec![0, 1]);
+        let stats = community_stats(&g, &p);
+        assert_eq!(stats[0].cut_weight, 1.0);
+        assert_eq!(stats[1].cut_weight, 1.0);
+    }
+
+    #[test]
+    fn self_loops_are_internal() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 0, 2.0);
+        let g = b.build();
+        let stats = community_stats(&g, &Partition::all_in_one(1));
+        assert_eq!(stats[0].intra_weight, 2.0);
+        assert_eq!(stats[0].cut_weight, 0.0);
+        assert_eq!(stats[0].volume, 4.0);
+    }
+
+    #[test]
+    fn summary_on_ring_of_cliques() {
+        let (g, truth) = ring_of_cliques(5, 4);
+        let s = partition_summary(&g, &truth);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_size, 4);
+        assert_eq!(s.max_size, 4);
+        assert_eq!(s.median_size, 4);
+        // each clique: cut 2, vol 2*6+2 = 14 → conductance 2/14
+        assert!((s.mean_conductance - 2.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = GraphBuilder::new(0).build();
+        let s = partition_summary(&g, &Partition::singleton(0));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_conductance, 0.0);
+    }
+
+    #[test]
+    fn singleton_communities_have_zero_density() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let stats = community_stats(&g, &Partition::singleton(2));
+        assert_eq!(stats[0].internal_density(), 0.0);
+        assert_eq!(stats[0].size, 1);
+    }
+}

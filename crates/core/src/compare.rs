@@ -1,0 +1,282 @@
+//! Partition similarity measures.
+//!
+//! The paper uses the pair-counting **Jaccard index** to score detected
+//! communities against LFR ground truth (Fig. 8) and Jaccard
+//! *dissimilarity* to analyze ensemble base-solution diversity (§V-D).
+//! Rand, adjusted Rand and NMI are provided as the customary companions.
+
+use parcom_graph::hashing::FxHashMap;
+use parcom_graph::Partition;
+
+/// Pair-counting contingency between two partitions of the same node set.
+#[derive(Clone, Debug)]
+pub struct PairCounts {
+    /// Pairs grouped together in both partitions.
+    pub both: f64,
+    /// Pairs together in `a` only.
+    pub a_only: f64,
+    /// Pairs together in `b` only.
+    pub b_only: f64,
+    /// Pairs separated in both.
+    pub neither: f64,
+}
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Computes the pair-counting contingency of `a` and `b` in
+/// `O(n log n)` via a sort over `(ζ_a(v), ζ_b(v))` keys.
+pub fn pair_counts(a: &Partition, b: &Partition) -> PairCounts {
+    assert_eq!(a.len(), b.len(), "partitions must cover the same node set");
+    let n = a.len() as u64;
+
+    let mut cells: Vec<(u32, u32)> = (0..a.len())
+        .map(|v| (a.subset_of(v as u32), b.subset_of(v as u32)))
+        .collect();
+    cells.sort_unstable();
+
+    let mut same_both = 0.0;
+    let mut a_sizes: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut b_sizes: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut i = 0;
+    while i < cells.len() {
+        let mut j = i;
+        while j < cells.len() && cells[j] == cells[i] {
+            j += 1;
+        }
+        same_both += choose2((j - i) as u64);
+        i = j;
+    }
+    for v in 0..a.len() as u32 {
+        *a_sizes.entry(a.subset_of(v)).or_insert(0) += 1;
+        *b_sizes.entry(b.subset_of(v)).or_insert(0) += 1;
+    }
+    let same_a: f64 = a_sizes.values().map(|&s| choose2(s)).sum();
+    let same_b: f64 = b_sizes.values().map(|&s| choose2(s)).sum();
+    let total = choose2(n);
+
+    PairCounts {
+        both: same_both,
+        a_only: same_a - same_both,
+        b_only: same_b - same_both,
+        neither: total - same_a - same_b + same_both,
+    }
+}
+
+/// Jaccard index over node pairs (1 = identical grouping). The agreement
+/// measure of Fig. 8.
+///
+/// # Examples
+///
+/// ```
+/// use parcom_core::compare::jaccard_index;
+/// use parcom_graph::Partition;
+///
+/// let a = Partition::from_vec(vec![0, 0, 1, 1]);
+/// let relabeled = Partition::from_vec(vec![5, 5, 2, 2]);
+/// assert_eq!(jaccard_index(&a, &relabeled), 1.0);
+/// ```
+pub fn jaccard_index(a: &Partition, b: &Partition) -> f64 {
+    let c = pair_counts(a, b);
+    let denom = c.both + c.a_only + c.b_only;
+    if denom == 0.0 {
+        1.0 // both partitions are all-singletons: identical
+    } else {
+        c.both / denom
+    }
+}
+
+/// Jaccard dissimilarity `1 − jaccard_index` (the diversity measure of
+/// §V-D).
+#[inline]
+pub fn jaccard_dissimilarity(a: &Partition, b: &Partition) -> f64 {
+    1.0 - jaccard_index(a, b)
+}
+
+/// Rand index: fraction of node pairs on which the partitions agree.
+pub fn rand_index(a: &Partition, b: &Partition) -> f64 {
+    let c = pair_counts(a, b);
+    let total = c.both + c.a_only + c.b_only + c.neither;
+    if total == 0.0 {
+        1.0
+    } else {
+        (c.both + c.neither) / total
+    }
+}
+
+/// Adjusted Rand index (chance-corrected; 1 = identical, ~0 = random).
+pub fn adjusted_rand_index(a: &Partition, b: &Partition) -> f64 {
+    let c = pair_counts(a, b);
+    let total = c.both + c.a_only + c.b_only + c.neither;
+    if total == 0.0 {
+        return 1.0;
+    }
+    let same_a = c.both + c.a_only;
+    let same_b = c.both + c.b_only;
+    let expected = same_a * same_b / total;
+    let max = (same_a + same_b) / 2.0;
+    if (max - expected).abs() < 1e-12 {
+        1.0
+    } else {
+        (c.both - expected) / (max - expected)
+    }
+}
+
+/// Normalized mutual information (arithmetic-mean normalization).
+pub fn nmi(a: &Partition, b: &Partition) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions must cover the same node set");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+
+    let mut joint: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+    let mut ca: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut cb: FxHashMap<u32, u64> = FxHashMap::default();
+    for v in 0..n as u32 {
+        *joint.entry((a.subset_of(v), b.subset_of(v))).or_insert(0) += 1;
+        *ca.entry(a.subset_of(v)).or_insert(0) += 1;
+        *cb.entry(b.subset_of(v)).or_insert(0) += 1;
+    }
+
+    let mut mutual = 0.0;
+    for (&(i, j), &nij) in joint.iter() {
+        let pij = nij as f64 / nf;
+        let pi = ca[&i] as f64 / nf;
+        let pj = cb[&j] as f64 / nf;
+        mutual += pij * (pij / (pi * pj)).ln();
+    }
+    let entropy = |sizes: &FxHashMap<u32, u64>| -> f64 {
+        sizes
+            .values()
+            .map(|&s| {
+                let p = s as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (entropy(&ca), entropy(&cb));
+    if ha + hb == 0.0 {
+        1.0 // both partitions trivial and identical
+    } else {
+        (2.0 * mutual / (ha + hb)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[u32]) -> Partition {
+        Partition::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = p(&[0, 0, 1, 1, 2]);
+        assert_eq!(jaccard_index(&a, &a), 1.0);
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_does_not_matter() {
+        let a = p(&[0, 0, 1, 1]);
+        let b = p(&[5, 5, 3, 3]);
+        assert_eq!(jaccard_index(&a, &b), 1.0);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_groupings_score_zero_jaccard() {
+        let a = p(&[0, 0, 1, 1]);
+        let b = p(&[0, 1, 0, 1]);
+        assert_eq!(jaccard_index(&a, &b), 0.0);
+        assert_eq!(jaccard_dissimilarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn pair_counts_by_hand() {
+        // a: {0,1},{2,3}; b: {0,1,2},{3}
+        let a = p(&[0, 0, 1, 1]);
+        let b = p(&[0, 0, 0, 1]);
+        let c = pair_counts(&a, &b);
+        // pairs: (0,1) both; (0,2),(1,2) b only; (2,3) a only; (0,3),(1,3) neither
+        assert_eq!(c.both, 1.0);
+        assert_eq!(c.a_only, 1.0);
+        assert_eq!(c.b_only, 2.0);
+        assert_eq!(c.neither, 2.0);
+        assert!((jaccard_index(&a, &b) - 0.25).abs() < 1e-12);
+        assert!((rand_index(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singletons_vs_one_block() {
+        let a = p(&[0, 1, 2, 3]);
+        let b = p(&[0, 0, 0, 0]);
+        assert_eq!(jaccard_index(&a, &b), 0.0);
+        assert_eq!(rand_index(&a, &b), 0.0);
+        assert!(nmi(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn all_singletons_both_identical() {
+        let a = p(&[0, 1, 2]);
+        assert_eq!(jaccard_index(&a, &a), 1.0);
+        assert_eq!(nmi(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn ari_near_zero_for_independent_random() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 5000;
+        let a = Partition::from_vec((0..n).map(|_| rng.gen_range(0..10u32)).collect());
+        let b = Partition::from_vec((0..n).map(|_| rng.gen_range(0..10u32)).collect());
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.02, "ARI of random partitions was {ari}");
+    }
+
+    #[test]
+    fn ari_is_one_for_identical_and_below_for_perturbed() {
+        let a = p(&[0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        let mut perturbed = a.clone();
+        perturbed.set(0, 1);
+        let ari = adjusted_rand_index(&a, &perturbed);
+        assert!(ari < 1.0 && ari > 0.0);
+    }
+
+    #[test]
+    fn nmi_symmetry() {
+        let a = p(&[0, 0, 1, 1, 2, 2]);
+        let b = p(&[0, 1, 1, 2, 2, 2]);
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_scores_between_zero_and_one() {
+        let coarse = p(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let fine = p(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let j = jaccard_index(&coarse, &fine);
+        assert!(j > 0.0 && j < 1.0);
+        let n = nmi(&coarse, &fine);
+        assert!(n > 0.0 && n < 1.0);
+    }
+
+    #[test]
+    fn empty_partitions() {
+        let a = Partition::singleton(0);
+        assert_eq!(jaccard_index(&a, &a), 1.0);
+        assert_eq!(nmi(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same node set")]
+    fn length_mismatch_panics() {
+        jaccard_index(&Partition::singleton(2), &Partition::singleton(3));
+    }
+}

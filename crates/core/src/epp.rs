@@ -1,0 +1,273 @@
+//! EPP — Ensemble Preprocessing (Algorithm 5).
+//!
+//! An ensemble of `b` cheap base algorithms (PLP instances with distinct
+//! seeds) runs on the input graph; their consensus — the core communities —
+//! identifies the uncontested parts of the graph, which are contracted away.
+//! The stronger final algorithm (PLM or PLMR) then solves the much smaller
+//! coarse graph, and the result is prolonged back. This trades a little
+//! quality for a large speedup on big graphs (§III-D, Fig. 4).
+
+use crate::algorithm::CommunityDetector;
+use crate::combine::core_communities;
+use crate::plm::Plm;
+use crate::plp::Plp;
+use parcom_graph::{coarsen, Graph, Partition};
+use rayon::prelude::*;
+
+/// The ensemble preprocessing scheme, generic in base and final algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use parcom_core::{CommunityDetector, Epp};
+/// use parcom_generators::ring_of_cliques;
+///
+/// let (graph, _) = ring_of_cliques(6, 8);
+/// let mut epp = Epp::plp_plm(4); // the paper's default EPP(4, PLP, PLM)
+/// assert_eq!(epp.name(), "EPP(4,PLP,PLM)");
+/// let communities = epp.detect(&graph);
+/// assert_eq!(communities.number_of_subsets(), 6);
+/// ```
+pub struct Epp {
+    /// The base classifiers; run concurrently on the input graph.
+    pub bases: Vec<Box<dyn CommunityDetector + Send>>,
+    /// The final algorithm, applied to the contracted graph.
+    pub final_algorithm: Box<dyn CommunityDetector + Send>,
+}
+
+impl Epp {
+    /// The paper's default instantiation `EPP(b, PLP, PLM)`.
+    pub fn plp_plm(ensemble_size: usize) -> Self {
+        Self::new(
+            (0..ensemble_size)
+                .map(|i| {
+                    Box::new(Plp::with_seed(1 + i as u64)) as Box<dyn CommunityDetector + Send>
+                })
+                .collect(),
+            Box::new(Plm::new()),
+        )
+    }
+
+    /// `EPP(b, PLP, PLMR)` — refinement as the final algorithm (§V-D).
+    pub fn plp_plmr(ensemble_size: usize) -> Self {
+        Self::new(
+            (0..ensemble_size)
+                .map(|i| {
+                    Box::new(Plp::with_seed(1 + i as u64)) as Box<dyn CommunityDetector + Send>
+                })
+                .collect(),
+            Box::new(Plm::with_refinement()),
+        )
+    }
+
+    /// An EPP over explicit base and final algorithms.
+    pub fn new(
+        bases: Vec<Box<dyn CommunityDetector + Send>>,
+        final_algorithm: Box<dyn CommunityDetector + Send>,
+    ) -> Self {
+        assert!(!bases.is_empty(), "ensemble needs at least one base");
+        Self {
+            bases,
+            final_algorithm,
+        }
+    }
+
+    /// Ensemble size `b`.
+    pub fn ensemble_size(&self) -> usize {
+        self.bases.len()
+    }
+}
+
+impl CommunityDetector for Epp {
+    fn name(&self) -> String {
+        format!(
+            "EPP({},{},{})",
+            self.bases.len(),
+            self.bases.first().map_or_else(|| "?".into(), |b| b.name()),
+            self.final_algorithm.name()
+        )
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        // 1. base solutions, in parallel
+        let base_solutions: Vec<Partition> = self
+            .bases
+            .par_iter_mut()
+            .map(|base| base.detect(g))
+            .collect();
+
+        // 2. consensus core communities
+        let core = core_communities(&base_solutions);
+
+        // 3. contract and solve with the final algorithm
+        let contraction = coarsen(g, &core);
+        let coarse_solution = self.final_algorithm.detect(&contraction.coarse);
+
+        // 4. prolong back to the input graph
+        let mut zeta = contraction.prolong(&coarse_solution);
+        zeta.compact();
+        zeta
+    }
+}
+
+/// EML — the iterated (multilevel) ensemble scheme of §III-D: after the core
+/// communities are computed, the coarsened graph is fed to a *fresh*
+/// ensemble, recursively, until the consensus stops improving modularity;
+/// only then does the final algorithm run. The paper evaluates this scheme
+/// and discards it ("the iterated scheme does not pay off in terms of
+/// quality in most cases") — it is provided so that the ablation can be
+/// reproduced (see the `ablations` bench).
+pub struct EppIterated {
+    /// Ensemble size per level.
+    pub ensemble_size: usize,
+    /// Cap on ensemble recursion depth.
+    pub max_levels: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl EppIterated {
+    /// EML with PLP bases and a PLM final, mirroring `EPP(b, PLP, PLM)`.
+    pub fn new(ensemble_size: usize) -> Self {
+        assert!(ensemble_size >= 1, "ensemble needs at least one base");
+        Self {
+            ensemble_size,
+            max_levels: 16,
+            seed: 1,
+        }
+    }
+}
+
+impl CommunityDetector for EppIterated {
+    fn name(&self) -> String {
+        format!("EML({},PLP,PLM)", self.ensemble_size)
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        use crate::quality::modularity;
+        let mut chain: Vec<parcom_graph::Coarsening> = Vec::new();
+        let mut current = g.clone();
+        let mut best_q = f64::NEG_INFINITY;
+
+        for level in 0..self.max_levels {
+            let bases: Vec<Partition> = (0..self.ensemble_size)
+                .into_par_iter()
+                .map(|i| {
+                    let mut plp = Plp::with_seed(self.seed + ((level as u64) << 32) + i as u64 + 1);
+                    plp.detect(&current)
+                })
+                .collect();
+            let core = core_communities(&bases);
+            if core.number_of_subsets() >= current.node_count() {
+                break;
+            }
+            let contraction = coarsen(&current, &core);
+            let coarse = contraction.coarse.clone();
+
+            // commit the level only if the consensus clustering improves on
+            // G; a degrading contraction would be irreversible (coarse
+            // nodes cannot be split again)
+            let mut prolonged = Partition::singleton(coarse.node_count());
+            prolonged = contraction.prolong(&prolonged);
+            for c in chain.iter().rev() {
+                prolonged = c.prolong(&prolonged);
+            }
+            let q = modularity(g, &prolonged);
+            if q <= best_q + 1e-9 {
+                break;
+            }
+            best_q = q;
+            chain.push(contraction);
+            current = coarse;
+        }
+
+        let mut zeta = Plm::new().detect(&current);
+        for c in chain.iter().rev() {
+            zeta = c.prolong(&zeta);
+        }
+        zeta.compact();
+        zeta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::modularity;
+    use parcom_generators::{lfr, ring_of_cliques, LfrParams};
+
+    #[test]
+    fn name_reflects_configuration() {
+        assert_eq!(Epp::plp_plm(4).name(), "EPP(4,PLP,PLM)");
+        assert_eq!(Epp::plp_plmr(2).name(), "EPP(2,PLP,PLMR)");
+    }
+
+    #[test]
+    fn recovers_ring_of_cliques() {
+        let (g, truth) = ring_of_cliques(8, 8);
+        let zeta = Epp::plp_plm(4).detect(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if truth.in_same_subset(u, v) {
+                    assert!(zeta.in_same_subset(u, v), "clique split at {u},{v}");
+                }
+            }
+        }
+        assert!(modularity(&g, &zeta) > 0.7);
+    }
+
+    #[test]
+    fn quality_between_plp_and_plm() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.4), 21);
+        let q_epp = modularity(&g, &Epp::plp_plm(4).detect(&g));
+        let q_plm = modularity(&g, &Plm::new().detect(&g));
+        // EPP should land close to PLM (paper: slightly worse in most cases)
+        assert!(
+            q_epp > q_plm - 0.1,
+            "EPP quality collapsed: {q_epp} vs PLM {q_plm}"
+        );
+    }
+
+    #[test]
+    fn improves_on_single_plp_for_noisy_graphs() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.5), 22);
+        let q_epp = modularity(&g, &Epp::plp_plm(4).detect(&g));
+        let q_plp = modularity(&g, &Plp::with_seed(1).detect(&g));
+        assert!(
+            q_epp >= q_plp - 0.02,
+            "EPP ({q_epp}) should improve on PLP ({q_plp})"
+        );
+    }
+
+    #[test]
+    fn ensemble_size_one_works() {
+        let (g, _) = ring_of_cliques(5, 5);
+        let zeta = Epp::plp_plm(1).detect(&g);
+        assert!(modularity(&g, &zeta) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one base")]
+    fn zero_ensemble_rejected() {
+        Epp::plp_plm(0);
+    }
+
+    #[test]
+    fn eml_name_and_quality() {
+        let mut eml = EppIterated::new(3);
+        assert_eq!(eml.name(), "EML(3,PLP,PLM)");
+        let (g, truth) = ring_of_cliques(6, 8);
+        let zeta = eml.detect(&g);
+        assert!(modularity(&g, &zeta) > 0.9 * modularity(&g, &truth));
+    }
+
+    #[test]
+    fn eml_comparable_to_epp() {
+        // the paper found iteration does not pay off; it must at least not
+        // collapse relative to one-level EPP
+        let (g, _) = lfr(LfrParams::benchmark(1500, 0.4), 23);
+        let q_epp = modularity(&g, &Epp::plp_plm(3).detect(&g));
+        let q_eml = modularity(&g, &EppIterated::new(3).detect(&g));
+        assert!(q_eml > q_epp - 0.1, "EML {q_eml} vs EPP {q_epp}");
+    }
+}

@@ -1,0 +1,384 @@
+//! PLM — Parallel Louvain Method (Algorithms 2 and 3), and PLMR, its
+//! refinement extension (Algorithm 4).
+//!
+//! The Louvain method repeatedly moves nodes to the neighboring community
+//! with the locally maximal modularity gain until stable, then coarsens the
+//! graph by the communities and recurses; the coarsest solution is prolonged
+//! back to the input graph. PLM parallelizes the move phase: node moves are
+//! evaluated and performed concurrently, accepting *stale* Δmod scores — a
+//! move may transiently decrease modularity, but later iterations correct
+//! such decisions (§III-B). Only the community volumes are maintained
+//! incrementally (atomic adds); the weight from a node to its neighboring
+//! communities is recomputed per evaluation, which the paper found faster
+//! than locked per-node maps.
+//!
+//! PLMR (`refine = true`) runs one more move phase after every prolongation,
+//! re-evaluating node assignments against the coarser level's outcome for
+//! extra modularity at a small time cost (§III-C).
+
+use crate::algorithm::CommunityDetector;
+use crate::quality::delta_modularity;
+use parcom_graph::hashing::FxHashMap;
+use parcom_graph::{coarsen, AtomicF64, AtomicPartition, Graph, Partition};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration and statistics of the parallel Louvain method.
+///
+/// # Examples
+///
+/// ```
+/// use parcom_core::{CommunityDetector, Plm};
+/// use parcom_generators::ring_of_cliques;
+///
+/// let (graph, truth) = ring_of_cliques(6, 8);
+/// let communities = Plm::new().detect(&graph);
+/// assert_eq!(communities.number_of_subsets(), 6);
+/// # for u in graph.nodes() { for v in graph.nodes() {
+/// #     assert_eq!(truth.in_same_subset(u, v), communities.in_same_subset(u, v));
+/// # } }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Plm {
+    /// Resolution parameter γ ∈ [0, 2ω(E)]: 1 is standard modularity, lower
+    /// values coarser communities, higher values finer ones (§III-B).
+    pub gamma: f64,
+    /// Adds the refinement move phase after each prolongation (PLMR).
+    pub refine: bool,
+    /// Cap on move-phase sweeps per level (guards the theoretical
+    /// non-termination of parallel moves on stale data).
+    pub max_move_iterations: usize,
+    /// Cap on the coarsening hierarchy depth.
+    pub max_levels: usize,
+    /// Statistics of the most recent run.
+    pub last_stats: PlmStats,
+}
+
+/// Per-run statistics of PLM.
+#[derive(Clone, Debug, Default)]
+pub struct PlmStats {
+    /// Node count of the graph at each hierarchy level (finest first).
+    pub level_sizes: Vec<usize>,
+    /// Node moves performed at each level (move + refinement phases).
+    pub moves_per_level: Vec<u64>,
+}
+
+impl Default for Plm {
+    fn default() -> Self {
+        Self {
+            gamma: 1.0,
+            refine: false,
+            max_move_iterations: 32,
+            max_levels: 64,
+            last_stats: PlmStats::default(),
+        }
+    }
+}
+
+impl Plm {
+    /// Standard PLM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// PLMR: PLM with a refinement phase on every level.
+    pub fn with_refinement() -> Self {
+        Self {
+            refine: true,
+            ..Self::default()
+        }
+    }
+
+    /// PLM with a non-standard resolution γ.
+    pub fn with_gamma(gamma: f64) -> Self {
+        assert!(gamma >= 0.0, "gamma must be non-negative");
+        Self {
+            gamma,
+            ..Self::default()
+        }
+    }
+
+    fn run_recursive(&self, g: &Graph, depth: usize, stats: &mut PlmStats) -> Partition {
+        stats.level_sizes.push(g.node_count());
+        let mut zeta = Partition::singleton(g.node_count());
+        let moves = move_phase(g, &mut zeta, self.gamma, self.max_move_iterations);
+        stats.moves_per_level.push(moves);
+
+        if moves > 0 && depth < self.max_levels {
+            let contraction = coarsen(g, &zeta);
+            // progress guard: recursion must strictly shrink the graph
+            if contraction.coarse.node_count() < g.node_count() {
+                let coarse_zeta = self.run_recursive(&contraction.coarse, depth + 1, stats);
+                zeta = contraction.prolong(&coarse_zeta);
+                if self.refine {
+                    let refine_moves =
+                        move_phase(g, &mut zeta, self.gamma, self.max_move_iterations);
+                    if let Some(m) = stats.moves_per_level.get_mut(depth) {
+                        *m += refine_moves;
+                    }
+                }
+            }
+        }
+        zeta
+    }
+}
+
+impl CommunityDetector for Plm {
+    fn name(&self) -> String {
+        let base = if self.refine { "PLMR" } else { "PLM" };
+        if (self.gamma - 1.0).abs() > 1e-12 {
+            format!("{base}(γ={})", self.gamma)
+        } else {
+            base.to_string()
+        }
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        let mut stats = PlmStats::default();
+        let mut zeta = self.run_recursive(g, 0, &mut stats);
+        self.last_stats = stats;
+        zeta.compact();
+        zeta
+    }
+}
+
+/// The parallel local move phase (Algorithm 2).
+///
+/// Moves nodes of `g` between the communities of `zeta` (modified in place)
+/// until no node moves in a full sweep or `max_iterations` is reached.
+/// Returns the number of moves performed. Shared state during the sweep is
+/// the atomic label array and one atomic volume accumulator per community —
+/// reads may be stale by design.
+pub fn move_phase(g: &Graph, zeta: &mut Partition, gamma: f64, max_iterations: usize) -> u64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let total = g.total_edge_weight();
+    if total == 0.0 {
+        return 0;
+    }
+    zeta.compact();
+    let k = zeta.upper_bound() as usize;
+
+    let labels = AtomicPartition::from_partition(zeta);
+    let volumes: Vec<AtomicF64> = (0..k.max(1)).map(|_| AtomicF64::new(0.0)).collect();
+    for u in g.nodes() {
+        volumes[zeta.subset_of(u) as usize].fetch_add(g.volume(u));
+    }
+
+    let mut total_moves = 0u64;
+    for _ in 0..max_iterations {
+        let moves = AtomicU64::new(0);
+        g.par_nodes()
+            .for_each_init(FxHashMap::<u32, f64>::default, |weight_to, u| {
+                if g.degree(u) == 0 {
+                    return;
+                }
+                weight_to.clear();
+                for (v, w) in g.edges_of(u) {
+                    if v != u {
+                        *weight_to.entry(labels.get(v)).or_insert(0.0) += w;
+                    }
+                }
+                let c = labels.get(u);
+                let vol_u = g.volume(u);
+                let weight_to_c = weight_to.get(&c).copied().unwrap_or(0.0);
+                let vol_c_without_u = volumes[c as usize].load() - vol_u;
+
+                let mut best_delta = 0.0;
+                let mut best_community = c;
+                for (&d, &weight_to_d) in weight_to.iter() {
+                    if d == c {
+                        continue;
+                    }
+                    let delta = delta_modularity(
+                        weight_to_c,
+                        weight_to_d,
+                        vol_c_without_u,
+                        volumes[d as usize].load(),
+                        vol_u,
+                        total,
+                        gamma,
+                    );
+                    if delta > best_delta
+                        || (delta == best_delta && best_community != c && d < best_community)
+                    {
+                        best_delta = delta;
+                        best_community = d;
+                    }
+                }
+                if best_community != c && best_delta > 0.0 {
+                    volumes[c as usize].fetch_sub(vol_u);
+                    volumes[best_community as usize].fetch_add(vol_u);
+                    labels.set(u, best_community);
+                    moves.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        let moves = moves.load(Ordering::Relaxed);
+        total_moves += moves;
+        if moves == 0 {
+            break;
+        }
+    }
+
+    *zeta = labels.to_partition();
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{modularity, modularity_gamma};
+    use parcom_generators::{
+        lfr, planted_partition, ring_of_cliques, LfrParams, PlantedPartitionParams,
+    };
+    use parcom_graph::GraphBuilder;
+
+    #[test]
+    fn recovers_ring_of_cliques_exactly() {
+        let (g, truth) = ring_of_cliques(10, 8);
+        let mut plm = Plm::new();
+        let zeta = plm.detect(&g);
+        assert_eq!(zeta.number_of_subsets(), 10);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(truth.in_same_subset(u, v), zeta.in_same_subset(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn move_phase_increases_modularity_from_singletons() {
+        let (g, _) = ring_of_cliques(6, 6);
+        let mut zeta = Partition::singleton(g.node_count());
+        let before = modularity(&g, &zeta);
+        let moves = move_phase(&g, &mut zeta, 1.0, 32);
+        assert!(moves > 0);
+        assert!(modularity(&g, &zeta) > before);
+    }
+
+    #[test]
+    fn high_quality_on_lfr() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.3), 5);
+        let mut plm = Plm::new();
+        let zeta = plm.detect(&g);
+        let q = modularity(&g, &zeta);
+        assert!(q > 0.45, "PLM modularity too low: {q}");
+    }
+
+    #[test]
+    fn plm_beats_plp_on_noisy_instances() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.5), 6);
+        let q_plm = modularity(&g, &Plm::new().detect(&g));
+        let q_plp = modularity(&g, &crate::plp::Plp::new().detect(&g));
+        assert!(
+            q_plm >= q_plp - 0.01,
+            "PLM ({q_plm}) should not lose clearly to PLP ({q_plp})"
+        );
+    }
+
+    #[test]
+    fn refinement_does_not_hurt() {
+        let (g, _) = lfr(LfrParams::benchmark(1500, 0.4), 7);
+        let q_plm = modularity(&g, &Plm::new().detect(&g));
+        let q_plmr = modularity(&g, &Plm::with_refinement().detect(&g));
+        assert!(
+            q_plmr >= q_plm - 0.01,
+            "PLMR ({q_plmr}) clearly worse than PLM ({q_plm})"
+        );
+    }
+
+    #[test]
+    fn builds_a_hierarchy() {
+        let (g, _) = lfr(LfrParams::benchmark(1000, 0.3), 8);
+        let mut plm = Plm::new();
+        plm.detect(&g);
+        assert!(
+            plm.last_stats.level_sizes.len() >= 2,
+            "no coarsening happened"
+        );
+        // strictly decreasing level sizes
+        for w in plm.last_stats.level_sizes.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn gamma_controls_resolution() {
+        let (g, _) = planted_partition(
+            PlantedPartitionParams {
+                n: 200,
+                k: 8,
+                p_in: 0.4,
+                p_out: 0.02,
+            },
+            9,
+        );
+        let coarse = Plm::with_gamma(0.2).detect(&g).number_of_subsets();
+        let standard = Plm::new().detect(&g).number_of_subsets();
+        let fine = Plm::with_gamma(6.0).detect(&g).number_of_subsets();
+        assert!(
+            coarse <= standard,
+            "low gamma should coarsen: {coarse} vs {standard}"
+        );
+        assert!(
+            fine >= standard,
+            "high gamma should refine: {fine} vs {standard}"
+        );
+    }
+
+    #[test]
+    fn gamma_zero_merges_connected_component() {
+        let (g, _) = ring_of_cliques(4, 4);
+        let zeta = Plm::with_gamma(0.0).detect(&g);
+        assert_eq!(zeta.number_of_subsets(), 1);
+    }
+
+    #[test]
+    fn extreme_gamma_keeps_singletons() {
+        let (g, _) = ring_of_cliques(3, 4);
+        let gamma = 2.0 * g.total_edge_weight();
+        let zeta = Plm::with_gamma(gamma).detect(&g);
+        // with γ = 2ω(E) no merge is profitable
+        assert_eq!(zeta.number_of_subsets(), g.node_count());
+    }
+
+    #[test]
+    fn gamma_zero_mod_matches_direct_formula() {
+        let (g, _) = ring_of_cliques(3, 5);
+        let zeta = Plm::with_gamma(0.0).detect(&g);
+        assert!((modularity_gamma(&g, &zeta, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let mut plm = Plm::new();
+        assert_eq!(plm.detect(&GraphBuilder::new(0).build()).len(), 0);
+        let g = GraphBuilder::new(5).build();
+        let zeta = plm.detect(&g);
+        assert_eq!(zeta.number_of_subsets(), 5);
+    }
+
+    #[test]
+    fn weighted_graphs_respected() {
+        // two heavy pairs bridged by light edges: pairs must be communities
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10.0);
+        b.add_edge(2, 3, 10.0);
+        b.add_edge(1, 2, 0.5);
+        b.add_edge(3, 0, 0.5);
+        let g = b.build();
+        let zeta = Plm::new().detect(&g);
+        assert!(zeta.in_same_subset(0, 1));
+        assert!(zeta.in_same_subset(2, 3));
+        assert!(!zeta.in_same_subset(1, 2));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Plm::new().name(), "PLM");
+        assert_eq!(Plm::with_refinement().name(), "PLMR");
+        assert_eq!(Plm::with_gamma(0.5).name(), "PLM(γ=0.5)");
+    }
+}

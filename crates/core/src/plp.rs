@@ -1,0 +1,404 @@
+//! PLP — Parallel Label Propagation (Algorithm 1 of the paper).
+//!
+//! Every node starts with a unique label; in each iteration every *active*
+//! node adopts the dominant label in its neighborhood (the label maximizing
+//! the incident edge weight). Nodes whose neighborhood did not change become
+//! inactive and are only reactivated when a neighbor updates. Iteration stops
+//! once the number of updated labels per iteration falls below the threshold
+//! θ (default `n · 10⁻⁵`, the paper's choice for cutting the long tail of
+//! iterations that touch only a few high-degree nodes — see Fig. 1).
+//!
+//! The label array is shared between threads with relaxed atomics; a thread
+//! may read a neighbor's label from the previous or the current iteration.
+//! These races are deliberate (asynchronous updating, §III-A): they avoid
+//! label oscillation on bipartite structures and add solution diversity in
+//! the ensemble setting.
+
+use crate::algorithm::CommunityDetector;
+use parcom_graph::hashing::FxHashMap;
+use parcom_graph::{AtomicPartition, Graph, Node, Partition};
+use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Initial activation perturbations for ensemble diversity (§V-D: the paper
+/// "perturb[s] the communities initially by randomly choosing a small number
+/// of seed nodes and deactivating them, or activating only this seed set").
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum SeedPerturbation {
+    /// All nodes start active (the default).
+    #[default]
+    None,
+    /// A random fraction of nodes starts *inactive* (re-activated only when
+    /// a neighbor updates).
+    DeactivateFraction(f64),
+    /// Only a random fraction of nodes starts active.
+    ActivateOnlyFraction(f64),
+}
+
+/// Configuration and run statistics of PLP.
+///
+/// # Examples
+///
+/// ```
+/// use parcom_core::{CommunityDetector, Plp};
+/// use parcom_generators::ring_of_cliques;
+///
+/// let (graph, _) = ring_of_cliques(5, 10);
+/// let mut plp = Plp::new();
+/// let communities = plp.detect(&graph);
+/// assert_eq!(communities.number_of_subsets(), 5);
+/// assert!(plp.last_stats.iterations() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Plp {
+    /// Update threshold θ as a fraction of `n`; iteration stops when fewer
+    /// than `θ·n` nodes update. The paper uses `1e-5`.
+    pub theta_fraction: f64,
+    /// Hard iteration cap (the paper observes convergence within ~100).
+    pub max_iterations: usize,
+    /// Explicitly shuffle the node processing order each iteration. The
+    /// paper makes this optional and finds implicit randomization through
+    /// parallelism sufficient (§III-A); benches reproduce that ablation.
+    pub explicit_randomization: bool,
+    /// Initial activation perturbation (§V-D ensemble diversity study).
+    pub seed_perturbation: SeedPerturbation,
+    /// Seed for the optional shuffle and tie-breaking.
+    pub seed: u64,
+    /// Statistics of the most recent run (for Fig. 1).
+    pub last_stats: PlpStats,
+}
+
+/// Per-run statistics: the series plotted in Fig. 1.
+#[derive(Clone, Debug, Default)]
+pub struct PlpStats {
+    /// Number of active nodes at the start of each iteration.
+    pub active_per_iteration: Vec<usize>,
+    /// Number of label updates in each iteration.
+    pub updated_per_iteration: Vec<usize>,
+}
+
+impl PlpStats {
+    /// Number of iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.updated_per_iteration.len()
+    }
+}
+
+impl Default for Plp {
+    fn default() -> Self {
+        Self {
+            theta_fraction: 1e-5,
+            max_iterations: 100,
+            explicit_randomization: false,
+            seed_perturbation: SeedPerturbation::None,
+            seed: 1,
+            last_stats: PlpStats::default(),
+        }
+    }
+}
+
+/// SplitMix64 mixing, used for the pseudo-random tie-break.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Plp {
+    /// PLP with default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// PLP with a specific seed (ensemble members use distinct seeds).
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Runs label propagation, optionally seeded with an initial assignment
+    /// (used when PLP refines a prolonged coarse solution).
+    pub fn run_from(&mut self, g: &Graph, initial: Option<&Partition>) -> Partition {
+        let n = g.node_count();
+        let labels = match initial {
+            Some(p) => AtomicPartition::from_partition(p),
+            None => AtomicPartition::singleton(n),
+        };
+        let active: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
+        let theta = (self.theta_fraction * n as f64).ceil() as u64;
+        let mut stats = PlpStats::default();
+
+        let mut order: Vec<Node> = (0..n as Node).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        match self.seed_perturbation {
+            SeedPerturbation::None => {}
+            SeedPerturbation::DeactivateFraction(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+                let count = (f * n as f64).round() as usize;
+                for idx in rand::seq::index::sample(&mut rng, n.max(1), count.min(n)) {
+                    active[idx].store(false, Ordering::Relaxed);
+                }
+            }
+            SeedPerturbation::ActivateOnlyFraction(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+                for a in &active {
+                    a.store(false, Ordering::Relaxed);
+                }
+                let count = (f * n as f64).round() as usize;
+                for idx in rand::seq::index::sample(&mut rng, n.max(1), count.min(n)) {
+                    active[idx].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+
+        for _iter in 0..self.max_iterations {
+            if self.explicit_randomization {
+                order.shuffle(&mut rng);
+            }
+            let active_count = active
+                .par_iter()
+                .filter(|a| a.load(Ordering::Relaxed))
+                .count();
+            let updated = AtomicU64::new(0);
+
+            let iter_salt = self.seed ^ ((stats.iterations() as u64 + 1) << 32);
+            order
+                .par_iter()
+                .for_each_init(FxHashMap::<u32, f64>::default, |weight_to, &v| {
+                    if g.degree(v) == 0 || !active[v as usize].load(Ordering::Relaxed) {
+                        return;
+                    }
+                    weight_to.clear();
+                    for (u, w) in g.edges_of(v) {
+                        if u != v {
+                            *weight_to.entry(labels.get(u)).or_insert(0.0) += w;
+                        }
+                    }
+                    let current = labels.get(v);
+                    // Dominant label. The current label wins ties (keeps
+                    // converged nodes stable); among strictly heavier
+                    // candidates, ties break pseudo-randomly per node and
+                    // iteration — the paper's "arbitrary" tie-breaking. A
+                    // deterministic id-based rule would flood one label
+                    // across community bridges.
+                    let salt = iter_salt ^ splitmix64(v as u64);
+                    let mut best = current;
+                    let mut best_weight = weight_to.get(&current).copied().unwrap_or(0.0);
+                    let mut best_hash = u64::MAX; // current label: unbeatable on ties
+                    for (&l, &w) in weight_to.iter() {
+                        if w > best_weight {
+                            best = l;
+                            best_weight = w;
+                            best_hash = splitmix64(l as u64 ^ salt);
+                        } else if w == best_weight && best != current {
+                            let h = splitmix64(l as u64 ^ salt);
+                            if h > best_hash {
+                                best = l;
+                                best_hash = h;
+                            }
+                        }
+                    }
+                    if best != current {
+                        labels.set(v, best);
+                        updated.fetch_add(1, Ordering::Relaxed);
+                        active[v as usize].store(true, Ordering::Relaxed);
+                        for u in g.neighbors(v) {
+                            active[*u as usize].store(true, Ordering::Relaxed);
+                        }
+                    } else {
+                        active[v as usize].store(false, Ordering::Relaxed);
+                    }
+                });
+
+            let updated = updated.load(Ordering::Relaxed);
+            stats.active_per_iteration.push(active_count);
+            stats.updated_per_iteration.push(updated as usize);
+            if updated <= theta {
+                break;
+            }
+        }
+
+        self.last_stats = stats;
+        let mut result = labels.to_partition();
+        result.compact();
+        result
+    }
+}
+
+impl CommunityDetector for Plp {
+    fn name(&self) -> String {
+        if self.explicit_randomization {
+            "PLP(randomized)".into()
+        } else {
+            "PLP".into()
+        }
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run_from(g, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{coverage, modularity};
+    use parcom_generators::{lfr, ring_of_cliques, LfrParams};
+    use parcom_graph::GraphBuilder;
+
+    #[test]
+    fn finds_cliques_in_ring() {
+        let (g, truth) = ring_of_cliques(8, 10);
+        let mut plp = Plp::new();
+        let zeta = plp.detect(&g);
+        // every clique should be one community
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if truth.in_same_subset(u, v) {
+                    assert!(zeta.in_same_subset(u, v), "clique nodes {u},{v} separated");
+                }
+            }
+        }
+        assert!(modularity(&g, &zeta) > 0.7);
+    }
+
+    #[test]
+    fn labels_stabilize_quickly() {
+        let (g, _) = ring_of_cliques(10, 8);
+        let mut plp = Plp::new();
+        plp.detect(&g);
+        assert!(
+            plp.last_stats.iterations() <= 20,
+            "took {} iterations",
+            plp.last_stats.iterations()
+        );
+    }
+
+    #[test]
+    fn updates_decline_over_iterations() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.2), 3);
+        let mut plp = Plp::new();
+        plp.detect(&g);
+        let u = &plp.last_stats.updated_per_iteration;
+        assert!(u.len() >= 2);
+        assert!(u[u.len() - 1] < u[0], "updates should decline: {u:?}");
+    }
+
+    #[test]
+    fn reasonable_quality_on_lfr() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.2), 4);
+        let mut plp = Plp::new();
+        let zeta = plp.detect(&g);
+        let q = modularity(&g, &zeta);
+        assert!(q > 0.4, "PLP modularity too low on easy LFR: {q}");
+        assert!(coverage(&g, &zeta) > 0.5);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_labels() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1)]);
+        let mut plp = Plp::new();
+        let zeta = plp.detect(&g);
+        // nodes 2, 3, 4 remain singleton communities
+        assert!(!zeta.in_same_subset(2, 3));
+        assert!(!zeta.in_same_subset(3, 4));
+        assert!(zeta.in_same_subset(0, 1));
+    }
+
+    #[test]
+    fn explicit_randomization_also_converges() {
+        let (g, _) = ring_of_cliques(6, 8);
+        let mut plp = Plp {
+            explicit_randomization: true,
+            seed: 99,
+            ..Plp::default()
+        };
+        let zeta = plp.detect(&g);
+        assert!(modularity(&g, &zeta) > 0.6);
+        assert_eq!(plp.name(), "PLP(randomized)");
+    }
+
+    #[test]
+    fn seeded_from_initial_partition() {
+        let (g, truth) = ring_of_cliques(5, 6);
+        let mut plp = Plp::new();
+        let zeta = plp.run_from(&g, Some(&truth));
+        // starting from the ground truth it must not get worse
+        assert!(modularity(&g, &zeta) >= modularity(&g, &truth) - 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let mut plp = Plp::new();
+        let g0 = GraphBuilder::new(0).build();
+        assert_eq!(plp.detect(&g0).len(), 0);
+        let g1 = GraphBuilder::new(1).build();
+        assert_eq!(plp.detect(&g1).number_of_subsets(), 1);
+    }
+
+    #[test]
+    fn respects_edge_weights() {
+        // node 1 ties to community {0} with weight 10, to {2,3} with 1+1;
+        // the heavy edge must win
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(2, 3, 5.0);
+        let g = b.build();
+        let mut plp = Plp::new();
+        let zeta = plp.detect(&g);
+        assert!(zeta.in_same_subset(0, 1), "heavy edge ignored: {zeta:?}");
+        assert!(zeta.in_same_subset(2, 3));
+    }
+
+    #[test]
+    fn seed_deactivation_still_converges() {
+        let (g, _) = ring_of_cliques(6, 8);
+        let mut plp = Plp {
+            seed_perturbation: SeedPerturbation::DeactivateFraction(0.2),
+            ..Plp::default()
+        };
+        let zeta = plp.detect(&g);
+        assert!(modularity(&g, &zeta) > 0.6);
+    }
+
+    #[test]
+    fn activate_only_fraction_converges() {
+        let (g, _) = ring_of_cliques(6, 8);
+        let mut plp = Plp {
+            seed_perturbation: SeedPerturbation::ActivateOnlyFraction(0.3),
+            ..Plp::default()
+        };
+        let zeta = plp.detect(&g);
+        // activation spreads from the seed set through updates
+        assert!(modularity(&g, &zeta) > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_perturbation_fraction() {
+        let (g, _) = ring_of_cliques(2, 3);
+        let mut plp = Plp {
+            seed_perturbation: SeedPerturbation::DeactivateFraction(1.5),
+            ..Plp::default()
+        };
+        plp.detect(&g);
+    }
+
+    #[test]
+    fn stats_are_reset_between_runs() {
+        let (g, _) = ring_of_cliques(4, 5);
+        let mut plp = Plp::new();
+        plp.detect(&g);
+        let first = plp.last_stats.iterations();
+        plp.detect(&g);
+        assert_eq!(plp.last_stats.iterations(), first);
+    }
+}

@@ -1,0 +1,109 @@
+//! Ring of cliques: the canonical "obvious communities" instance.
+//!
+//! `k` cliques of `s` nodes each, consecutive cliques joined by a single
+//! bridge edge. The planted communities are unambiguous, which makes this
+//! the standard smoke test for community detection (and the graph family on
+//! which modularity's resolution limit eventually bites for large `k`).
+
+use parcom_graph::{Graph, GraphBuilder, Node, Partition};
+
+/// Generates the ring of cliques; returns the graph and the planted
+/// clique partition. Requires `k >= 1` cliques of size `s >= 1`.
+pub fn ring_of_cliques(k: usize, s: usize) -> (Graph, Partition) {
+    assert!(k >= 1 && s >= 1, "need at least one clique of one node");
+    let n = k * s;
+    let mut b = GraphBuilder::with_capacity(n, k * s * s / 2 + k);
+    for c in 0..k {
+        let base = (c * s) as Node;
+        for i in 0..s as Node {
+            for j in (i + 1)..s as Node {
+                b.add_unweighted_edge(base + i, base + j);
+            }
+        }
+    }
+    if k > 1 {
+        // bridge last node of clique c to first node of clique c+1
+        for c in 0..k {
+            let from = (c * s + (s - 1)) as Node;
+            let to = (((c + 1) % k) * s) as Node;
+            if k == 2 && c == 1 {
+                break; // avoid doubling the single bridge between two cliques
+            }
+            if from != to {
+                b.add_unweighted_edge(from, to);
+            }
+        }
+    }
+    let truth = Partition::from_vec((0..n).map(|v| (v / s) as u32).collect());
+    (b.build(), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_graph::components::ConnectedComponents;
+
+    #[test]
+    fn sizes_and_counts() {
+        let (g, t) = ring_of_cliques(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 10 + 4);
+        assert_eq!(t.number_of_subsets(), 4);
+    }
+
+    #[test]
+    fn is_connected() {
+        let (g, _) = ring_of_cliques(6, 4);
+        assert_eq!(ConnectedComponents::run(&g).count, 1);
+    }
+
+    #[test]
+    fn intra_clique_edges_complete() {
+        let (g, t) = ring_of_cliques(3, 4);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v && t.in_same_subset(u, v) {
+                    assert!(g.has_edge(u, v), "missing clique edge {u}-{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_k_bridges() {
+        let (g, t) = ring_of_cliques(5, 3);
+        let mut bridges = 0;
+        g.for_edges(|u, v, _| {
+            if !t.in_same_subset(u, v) {
+                bridges += 1;
+            }
+        });
+        assert_eq!(bridges, 5);
+    }
+
+    #[test]
+    fn two_cliques_single_bridge() {
+        let (g, t) = ring_of_cliques(2, 3);
+        let mut bridges = 0;
+        g.for_edges(|u, v, _| {
+            if !t.in_same_subset(u, v) {
+                bridges += 1;
+            }
+        });
+        assert_eq!(bridges, 1);
+    }
+
+    #[test]
+    fn single_clique() {
+        let (g, t) = ring_of_cliques(1, 4);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(t.number_of_subsets(), 1);
+    }
+
+    #[test]
+    fn singleton_cliques_form_cycle() {
+        let (g, _) = ring_of_cliques(5, 1);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+    }
+}

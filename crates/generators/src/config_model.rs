@@ -1,0 +1,141 @@
+//! Configuration-model edge generation from a degree sequence.
+//!
+//! The LFR generator wires both its intra-community subgraphs and its global
+//! inter-community layer with stub matching: every node contributes as many
+//! stubs as its target degree, the stub list is shuffled, and consecutive
+//! stubs are paired. Pairs that would form self-loops or duplicate edges are
+//! re-queued and re-shuffled for a bounded number of rounds (simple graphs
+//! only), then dropped — the standard practical LFR behaviour.
+
+use parcom_graph::hashing::FxHashSet;
+use parcom_graph::Node;
+use rand::{seq::SliceRandom, Rng};
+
+/// Pairs stubs from `degrees` into simple edges over node ids `nodes[i]`.
+///
+/// `degrees[i]` stubs are created for `nodes[i]`. Returns the edge list;
+/// `forbidden(u, v)` can veto specific pairs (used by LFR to keep
+/// inter-community edges between communities). Unmatched stubs after
+/// `rounds` reshuffles are dropped.
+pub fn configuration_model_edges(
+    nodes: &[Node],
+    degrees: &[u64],
+    rng: &mut impl Rng,
+    rounds: usize,
+    mut forbidden: impl FnMut(Node, Node) -> bool,
+) -> Vec<(Node, Node)> {
+    assert_eq!(nodes.len(), degrees.len());
+    let total: u64 = degrees.iter().sum();
+    let mut stubs: Vec<Node> = Vec::with_capacity(total as usize);
+    for (i, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            stubs.push(nodes[i]);
+        }
+    }
+
+    let mut edges = Vec::with_capacity(stubs.len() / 2);
+    let mut seen: FxHashSet<(Node, Node)> = FxHashSet::default();
+    for _ in 0..rounds.max(1) {
+        if stubs.len() < 2 {
+            break;
+        }
+        stubs.shuffle(rng);
+        if stubs.len() % 2 == 1 {
+            stubs.pop();
+        }
+        let mut leftover = Vec::new();
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let key = if u <= v { (u, v) } else { (v, u) };
+            if u == v || seen.contains(&key) || forbidden(u, v) {
+                leftover.push(u);
+                leftover.push(v);
+            } else {
+                seen.insert(key);
+                edges.push(key);
+            }
+        }
+        stubs = leftover;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn degree_counts(edges: &[(Node, Node)], n: usize) -> Vec<u64> {
+        let mut d = vec![0u64; n];
+        for &(u, v) in edges {
+            d[u as usize] += 1;
+            d[v as usize] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn regular_sequence_realized() {
+        let nodes: Vec<Node> = (0..100).collect();
+        let degrees = vec![4u64; 100];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges = configuration_model_edges(&nodes, &degrees, &mut rng, 10, |_, _| false);
+        let d = degree_counts(&edges, 100);
+        // nearly all stubs matched for an easy sequence
+        let realized: u64 = d.iter().sum();
+        assert!(realized >= 380, "realized {realized} of 400 stubs");
+        assert!(d.iter().all(|&x| x <= 4));
+    }
+
+    #[test]
+    fn output_is_simple() {
+        let nodes: Vec<Node> = (0..50).collect();
+        let degrees = vec![6u64; 50];
+        let mut rng = SmallRng::seed_from_u64(2);
+        let edges = configuration_model_edges(&nodes, &degrees, &mut rng, 8, |_, _| false);
+        let mut set = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            assert_ne!(u, v, "self-loop produced");
+            assert!(set.insert((u, v)), "duplicate edge produced");
+        }
+    }
+
+    #[test]
+    fn respects_forbidden_pairs() {
+        let nodes: Vec<Node> = (0..20).collect();
+        let degrees = vec![3u64; 20];
+        let mut rng = SmallRng::seed_from_u64(3);
+        // forbid all pairs where both ids are even
+        let edges = configuration_model_edges(&nodes, &degrees, &mut rng, 10, |u, v| {
+            u % 2 == 0 && v % 2 == 0
+        });
+        assert!(edges.iter().all(|&(u, v)| !(u % 2 == 0 && v % 2 == 0)));
+    }
+
+    #[test]
+    fn odd_total_drops_one_stub() {
+        let nodes: Vec<Node> = vec![0, 1, 2];
+        let degrees = vec![1, 1, 1];
+        let mut rng = SmallRng::seed_from_u64(4);
+        let edges = configuration_model_edges(&nodes, &degrees, &mut rng, 5, |_, _| false);
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let edges = configuration_model_edges(&[], &[], &mut rng, 3, |_, _| false);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn nonidentity_node_ids() {
+        let nodes: Vec<Node> = vec![10, 20, 30, 40];
+        let degrees = vec![2u64; 4];
+        let mut rng = SmallRng::seed_from_u64(6);
+        let edges = configuration_model_edges(&nodes, &degrees, &mut rng, 10, |_, _| false);
+        for &(u, v) in &edges {
+            assert!(nodes.contains(&u) && nodes.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+//!
+//! Uses geometric edge skipping (Batagelj–Brandes) so generation is
+//! `O(n + m)` instead of `O(n²)`.
+
+use parcom_graph::{Graph, GraphBuilder, Node};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Generates `G(n, p)`: each of the `n(n-1)/2` node pairs is an edge
+/// independently with probability `p`. Deterministic in `seed`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if p >= 1.0 {
+        for u in 0..n as Node {
+            for v in (u + 1)..n as Node {
+                b.add_unweighted_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+
+    // Batagelj–Brandes skipping over the strictly-lower-triangular pairs
+    // (row, col) with col < row: geometric(p) non-edges, then one edge.
+    let log_q = (1.0 - p).ln();
+    let mut row = 1usize;
+    let mut col = 0usize;
+    // Advances the cursor by `k` positions; returns false past the end.
+    let advance = |row: &mut usize, col: &mut usize, mut k: usize| -> bool {
+        while k > 0 {
+            let left_in_row = *row - *col;
+            if k < left_in_row {
+                *col += k;
+                return true;
+            }
+            k -= left_in_row;
+            *row += 1;
+            *col = 0;
+            if *row >= n {
+                return false;
+            }
+        }
+        true
+    };
+    loop {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (r.ln() / log_q).floor() as usize; // number of non-edges
+        if !advance(&mut row, &mut col, skip) {
+            return b.build();
+        }
+        b.add_unweighted_edge(col as Node, row as Node);
+        if !advance(&mut row, &mut col, 1) {
+            return b.build();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_zero_yields_no_edges() {
+        let g = erdos_renyi(100, 0.0, 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn p_one_yields_clique() {
+        let g = erdos_renyi(10, 1.0, 1);
+        assert_eq!(g.edge_count(), 45);
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let (n, p) = (2000usize, 0.01);
+        let g = erdos_renyi(n, p, 42);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expect).abs() < 4.0 * expect.sqrt() + 50.0,
+            "m={m}, expected ~{expect}"
+        );
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = erdos_renyi(500, 0.02, 7);
+        for u in g.nodes() {
+            assert!(!g.has_edge(u, u));
+        }
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = erdos_renyi(300, 0.05, 5);
+        let b = erdos_renyi(300, 0.05, 5);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(300, 0.05, 5);
+        let b = erdos_renyi(300, 0.05, 6);
+        let same = a.nodes().all(|u| a.neighbors(u) == b.neighbors(u));
+        assert!(!same);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(erdos_renyi(0, 0.5, 1).node_count(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, 1).edge_count(), 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Two-dimensional grid meshes.
+//!
+//! Near-planar, constant-degree, huge-diameter graphs — the stand-in for the
+//! europe-osm street network of Table I, the structural opposite of the
+//! scale-free instances.
+
+use parcom_graph::{Graph, GraphBuilder, Node};
+
+/// Generates a `width × height` 4-neighborhood grid.
+pub fn grid2d(width: usize, height: usize) -> Graph {
+    let n = width * height;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |x: usize, y: usize| (y * width + x) as Node;
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                b.add_unweighted_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < height {
+                b.add_unweighted_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_graph::components::ConnectedComponents;
+    use parcom_graph::traversal::eccentricity;
+
+    #[test]
+    fn edge_count_formula() {
+        let g = grid2d(5, 4);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 5 * 3); // horizontal + vertical
+    }
+
+    #[test]
+    fn corner_and_interior_degrees() {
+        let g = grid2d(4, 4);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn connected_with_manhattan_diameter() {
+        let g = grid2d(10, 7);
+        assert_eq!(ConnectedComponents::run(&g).count, 1);
+        assert_eq!(eccentricity(&g, 0), 9 + 6);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let line = grid2d(5, 1);
+        assert_eq!(line.edge_count(), 4);
+        let empty = grid2d(0, 3);
+        assert_eq!(empty.node_count(), 0);
+        let single = grid2d(1, 1);
+        assert_eq!(single.node_count(), 1);
+        assert_eq!(single.edge_count(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Random hyperbolic graphs (Krioukov et al.).
+//!
+//! Points are placed in a hyperbolic disk of radius `R` (angles uniform,
+//! radii with density `sinh(αr)`) and connected when their hyperbolic
+//! distance is below `R`. The model produces power-law degree distributions
+//! with exponent `2α + 1` *and* high clustering — the generative model
+//! NetworKit later adopted as its standard complex-network source, which
+//! makes it a natural extension of the paper's synthetic instance families.
+//!
+//! This implementation is the direct O(n²) pair test, parallelized over
+//! nodes; it is intended for benchmark-scale instances (n ≲ 50k), not for
+//! the subquadratic generation literature.
+
+use parcom_graph::{Graph, GraphBuilder, Node};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Parameters of the random hyperbolic graph.
+#[derive(Clone, Copy, Debug)]
+pub struct HyperbolicParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Radial dispersion α > 0.5; the degree power-law exponent is 2α + 1.
+    pub alpha: f64,
+    /// Disk radius offset `C` in `R = 2 ln n + C`; larger C → sparser.
+    pub radius_offset: f64,
+}
+
+impl HyperbolicParams {
+    /// A scale-free configuration with power-law exponent ~2.5.
+    pub fn scale_free(n: usize) -> Self {
+        Self {
+            n,
+            alpha: 0.75,
+            radius_offset: 0.0,
+        }
+    }
+}
+
+/// Generates the graph, deterministic in `seed`.
+pub fn hyperbolic(params: HyperbolicParams, seed: u64) -> Graph {
+    let HyperbolicParams {
+        n,
+        alpha,
+        radius_offset,
+    } = params;
+    assert!(
+        alpha > 0.5,
+        "alpha must exceed 0.5 for a finite mean degree"
+    );
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    let big_r = 2.0 * (n as f64).ln() + radius_offset;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cosh_ar_minus_1 = (alpha * big_r).cosh() - 1.0;
+    let mut angles = Vec::with_capacity(n);
+    let mut radii = Vec::with_capacity(n);
+    for _ in 0..n {
+        angles.push(rng.gen::<f64>() * std::f64::consts::TAU);
+        let u: f64 = rng.gen();
+        radii.push(((1.0 + u * cosh_ar_minus_1).acosh()) / alpha);
+    }
+    let cosh_r: Vec<f64> = radii.iter().map(|r| r.cosh()).collect();
+    let sinh_r: Vec<f64> = radii.iter().map(|r| r.sinh()).collect();
+    let cosh_big_r = big_r.cosh();
+
+    let edges: Vec<(Node, Node)> = (0..n)
+        .into_par_iter()
+        .flat_map_iter(|u| {
+            let (au, cu, su) = (angles[u], cosh_r[u], sinh_r[u]);
+            let angles = &angles;
+            let cosh_r = &cosh_r;
+            let sinh_r = &sinh_r;
+            ((u + 1)..n).filter_map(move |v| {
+                let dphi = (au - angles[v]).abs();
+                let dphi = dphi.min(std::f64::consts::TAU - dphi);
+                let cosh_d = cu * cosh_r[v] - su * sinh_r[v] * dphi.cos();
+                (cosh_d <= cosh_big_r).then_some((u as Node, v as Node))
+            })
+        })
+        .collect();
+
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_unweighted_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_graph::clustering::sampled_average_local_clustering;
+
+    #[test]
+    fn produces_edges_at_scale_free_defaults() {
+        let g = hyperbolic(HyperbolicParams::scale_free(1000), 1);
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(avg > 1.0, "too sparse: avg degree {avg}");
+        assert!(avg < 100.0, "too dense: avg degree {avg}");
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn has_hubs() {
+        let g = hyperbolic(HyperbolicParams::scale_free(2000), 2);
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            g.max_degree() as f64 > 5.0 * avg,
+            "no hubs: max {} vs avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn is_clustered() {
+        let g = hyperbolic(HyperbolicParams::scale_free(2000), 3);
+        let lcc = sampled_average_local_clustering(&g, 500, 1);
+        assert!(lcc > 0.3, "hyperbolic graphs should cluster, LCC {lcc}");
+    }
+
+    #[test]
+    fn radius_offset_controls_density() {
+        let dense = hyperbolic(
+            HyperbolicParams {
+                n: 800,
+                alpha: 0.75,
+                radius_offset: -1.0,
+            },
+            4,
+        );
+        let sparse = hyperbolic(
+            HyperbolicParams {
+                n: 800,
+                alpha: 0.75,
+                radius_offset: 1.0,
+            },
+            4,
+        );
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = hyperbolic(HyperbolicParams::scale_free(300), 9);
+        let b = hyperbolic(HyperbolicParams::scale_free(300), 9);
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(
+            hyperbolic(HyperbolicParams::scale_free(0), 0).node_count(),
+            0
+        );
+        let g = hyperbolic(HyperbolicParams::scale_free(1), 0);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_small_alpha() {
+        hyperbolic(
+            HyperbolicParams {
+                n: 10,
+                alpha: 0.4,
+                radius_offset: 0.0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The Zachary karate club — the canonical real-world test network.
+//!
+//! 34 members of a university karate club, edges for observed social
+//! interaction (Zachary 1977). After a dispute the club split into two
+//! factions, giving the network a famous two-community ground truth;
+//! essentially every community detection paper validates against it.
+//! Embedded here (public-domain data, 78 edges) so the test suite exercises
+//! at least one real network alongside the synthetic generators.
+
+use parcom_graph::{Graph, GraphBuilder, Partition};
+
+/// The 78 undirected edges, 1-based as in the original publication.
+const EDGES_1BASED: [(u32, u32); 78] = [
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (1, 5),
+    (1, 6),
+    (1, 7),
+    (1, 8),
+    (1, 9),
+    (1, 11),
+    (1, 12),
+    (1, 13),
+    (1, 14),
+    (1, 18),
+    (1, 20),
+    (1, 22),
+    (1, 32),
+    (2, 3),
+    (2, 4),
+    (2, 8),
+    (2, 14),
+    (2, 18),
+    (2, 20),
+    (2, 22),
+    (2, 31),
+    (3, 4),
+    (3, 8),
+    (3, 9),
+    (3, 10),
+    (3, 14),
+    (3, 28),
+    (3, 29),
+    (3, 33),
+    (4, 8),
+    (4, 13),
+    (4, 14),
+    (5, 7),
+    (5, 11),
+    (6, 7),
+    (6, 11),
+    (6, 17),
+    (7, 17),
+    (9, 31),
+    (9, 33),
+    (9, 34),
+    (10, 34),
+    (14, 34),
+    (15, 33),
+    (15, 34),
+    (16, 33),
+    (16, 34),
+    (19, 33),
+    (19, 34),
+    (20, 34),
+    (21, 33),
+    (21, 34),
+    (23, 33),
+    (23, 34),
+    (24, 26),
+    (24, 28),
+    (24, 30),
+    (24, 33),
+    (24, 34),
+    (25, 26),
+    (25, 28),
+    (25, 32),
+    (26, 32),
+    (27, 30),
+    (27, 34),
+    (28, 34),
+    (29, 32),
+    (29, 34),
+    (30, 33),
+    (30, 34),
+    (31, 33),
+    (31, 34),
+    (32, 33),
+    (32, 34),
+    (33, 34),
+];
+
+/// Members of the instructor's faction after the split (1-based ids);
+/// everyone else sided with the club officer.
+const INSTRUCTOR_FACTION: [u32; 16] = [1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 17, 18, 20, 22];
+
+/// Returns the karate club graph (0-based node ids) and the two-faction
+/// ground truth (0 = instructor's side, 1 = officer's side).
+pub fn karate_club() -> (Graph, Partition) {
+    let mut b = GraphBuilder::with_capacity(34, EDGES_1BASED.len());
+    for &(u, v) in &EDGES_1BASED {
+        b.add_unweighted_edge(u - 1, v - 1);
+    }
+    let mut factions = vec![1u32; 34];
+    for &member in &INSTRUCTOR_FACTION {
+        factions[(member - 1) as usize] = 0;
+    }
+    (b.build(), Partition::from_vec(factions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_graph::components::ConnectedComponents;
+
+    #[test]
+    fn well_known_counts() {
+        let (g, factions) = karate_club();
+        assert_eq!(g.node_count(), 34);
+        assert_eq!(g.edge_count(), 78);
+        assert_eq!(factions.number_of_subsets(), 2);
+        assert_eq!(factions.subset_sizes(), vec![16, 18]);
+    }
+
+    #[test]
+    fn connected_with_two_hubs() {
+        let (g, _) = karate_club();
+        assert_eq!(ConnectedComponents::run(&g).count, 1);
+        // the instructor (node 0) and the officer (node 33) are the hubs
+        assert_eq!(g.degree(0), 16);
+        assert_eq!(g.degree(33), 17);
+        assert_eq!(g.max_degree(), 17);
+    }
+
+    #[test]
+    fn faction_split_has_positive_modularity() {
+        // the historical split is a good (not optimal) modularity solution
+        let (g, factions) = karate_club();
+        let q = {
+            // inline modularity to avoid a dev-dependency cycle with core
+            let total = g.total_edge_weight();
+            let mut intra = [0.0f64; 2];
+            let mut vol = [0.0f64; 2];
+            for u in g.nodes() {
+                vol[factions.subset_of(u) as usize] += g.volume(u);
+            }
+            g.for_edges(|u, v, w| {
+                if factions.in_same_subset(u, v) {
+                    intra[factions.subset_of(u) as usize] += w;
+                }
+            });
+            (0..2)
+                .map(|c| intra[c] / total - (vol[c] / (2.0 * total)).powi(2))
+                .sum::<f64>()
+        };
+        assert!(
+            (0.33..0.42).contains(&q),
+            "karate faction modularity should be ~0.36, got {q}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! The planted-partition model `G(n, p_in, p_out)`.
+//!
+//! This is the model behind the paper's `G_n_pin_pout` instance (Table I):
+//! `n` nodes are split into `k` equally-sized blocks; node pairs within a
+//! block are connected with probability `p_in`, pairs across blocks with
+//! `p_out`. The generator returns the planted ground truth alongside the
+//! graph so detection accuracy can be scored.
+
+use parcom_graph::{Graph, GraphBuilder, Node, Partition};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Parameters of the planted-partition model.
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedPartitionParams {
+    /// Total node count.
+    pub n: usize,
+    /// Number of planted blocks.
+    pub k: usize,
+    /// Intra-block edge probability.
+    pub p_in: f64,
+    /// Inter-block edge probability (should be well below `p_in` for a
+    /// detectable structure).
+    pub p_out: f64,
+}
+
+/// Generates the model; returns the graph and the planted partition.
+pub fn planted_partition(params: PlantedPartitionParams, seed: u64) -> (Graph, Partition) {
+    let PlantedPartitionParams { n, k, p_in, p_out } = params;
+    assert!(k >= 1 && k <= n.max(1), "need 1 <= k <= n");
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+
+    let block_of = |v: usize| -> u32 { (v * k / n.max(1)) as u32 };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+
+    // Geometric skipping per probability class over the upper triangle would
+    // complicate block lookups; with benchmark sizes (n <= ~1e5, sparse p)
+    // a skip-based row walk per class keeps this O(m) in expectation.
+    for class in 0..2 {
+        let p = if class == 0 { p_in } else { p_out };
+        if p <= 0.0 {
+            continue;
+        }
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let same = block_of(u) == block_of(v);
+                    if same == (class == 0) {
+                        b.add_unweighted_edge(u as Node, v as Node);
+                    }
+                }
+            }
+            continue;
+        }
+        let log_q = (1.0 - p).ln();
+        // walk all pairs (u < v) and skip geometrically, testing class
+        let mut u = 0usize;
+        let mut v = 0usize; // advanced before the first class test, so (0,1) is the first pair
+        'outer: loop {
+            let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let mut skip = (r.ln() / log_q).floor() as usize + 1;
+            // advance over pairs *of this class* by `skip`
+            while skip > 0 {
+                // move to next pair of the right class
+                loop {
+                    v += 1;
+                    if v >= n {
+                        u += 1;
+                        if u + 1 >= n {
+                            break 'outer;
+                        }
+                        v = u + 1;
+                    }
+                    let same = block_of(u) == block_of(v);
+                    if same == (class == 0) {
+                        break;
+                    }
+                }
+                skip -= 1;
+            }
+            b.add_unweighted_edge(u as Node, v as Node);
+        }
+    }
+
+    let truth = Partition::from_vec((0..n).map(block_of).collect());
+    (b.build(), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, k: usize, p_in: f64, p_out: f64) -> PlantedPartitionParams {
+        PlantedPartitionParams { n, k, p_in, p_out }
+    }
+
+    #[test]
+    fn ground_truth_has_k_blocks() {
+        let (_, t) = planted_partition(params(100, 4, 0.2, 0.01), 1);
+        assert_eq!(t.number_of_subsets(), 4);
+        let sizes = t.subset_sizes();
+        assert!(sizes.iter().all(|&s| s == 25));
+    }
+
+    #[test]
+    fn intra_denser_than_inter() {
+        let (g, t) = planted_partition(params(400, 4, 0.2, 0.01), 2);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        g.for_edges(|u, v, _| {
+            if t.in_same_subset(u, v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        });
+        // intra pairs: 4 * C(100,2) = 19800 at 0.2 => ~3960
+        // inter pairs: C(400,2)-19800 = 60000 at 0.01 => ~600
+        assert!(intra > 3 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn edge_counts_near_expectation() {
+        let (g, _) = planted_partition(params(500, 5, 0.1, 0.005), 3);
+        let intra_pairs = 5.0 * (100.0 * 99.0 / 2.0);
+        let inter_pairs = (500.0 * 499.0 / 2.0) - intra_pairs;
+        let expect = 0.1 * intra_pairs + 0.005 * inter_pairs;
+        let m = g.edge_count() as f64;
+        assert!(
+            (m - expect).abs() < 5.0 * expect.sqrt() + 50.0,
+            "m={m} expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn p_out_zero_gives_disconnected_blocks() {
+        let (g, t) = planted_partition(params(60, 3, 0.5, 0.0), 4);
+        g.for_edges(|u, v, _| assert!(t.in_same_subset(u, v)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = planted_partition(params(200, 4, 0.1, 0.01), 9);
+        let (b, _) = planted_partition(params(200, 4, 0.1, 0.01), 9);
+        for u in a.nodes() {
+            assert_eq!(a.neighbors(u), b.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn single_block_is_erdos_renyi_like() {
+        let (g, t) = planted_partition(params(100, 1, 0.1, 0.0), 5);
+        assert_eq!(t.number_of_subsets(), 1);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn full_p_in_builds_cliques() {
+        let (g, t) = planted_partition(params(20, 2, 1.0, 0.0), 6);
+        assert_eq!(g.edge_count(), 2 * (10 * 9 / 2));
+        g.for_edges(|u, v, _| assert!(t.in_same_subset(u, v)));
+    }
+}

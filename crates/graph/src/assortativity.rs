@@ -1,0 +1,129 @@
+//! Degree assortativity (Pearson correlation of endpoint degrees).
+//!
+//! Complex-network categories differ sharply here: social/coauthorship
+//! networks are assortative (hubs link to hubs), internet topologies and
+//! web graphs disassortative — one more axis on which the benchmark
+//! stand-ins can be validated against their Table I counterparts.
+
+use crate::graph::Graph;
+
+/// Pearson degree assortativity in `[-1, 1]`; `None` when the graph has no
+/// edges between distinct nodes or zero degree variance (e.g. regular
+/// graphs, where the coefficient is undefined).
+pub fn degree_assortativity(g: &Graph) -> Option<f64> {
+    // sums over directed edge endpoints (each undirected edge twice), which
+    // symmetrizes the estimator; self-loops excluded
+    let mut m2 = 0.0f64; // number of directed endpoint pairs
+    let mut sum_prod = 0.0;
+    let mut sum_j = 0.0;
+    let mut sum_j2 = 0.0;
+    for u in g.nodes() {
+        let du = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            if v == u {
+                continue;
+            }
+            let dv = g.degree(v) as f64;
+            m2 += 1.0;
+            sum_prod += du * dv;
+            sum_j += du;
+            sum_j2 += du * du;
+        }
+    }
+    if m2 == 0.0 {
+        return None;
+    }
+    let mean_j = sum_j / m2;
+    let var = sum_j2 / m2 - mean_j * mean_j;
+    if var <= 1e-15 {
+        return None;
+    }
+    let cov = sum_prod / m2 - mean_j * mean_j;
+    Some((cov / var).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < -0.99, "star assortativity should be -1, got {r}");
+    }
+
+    #[test]
+    fn regular_graph_is_undefined() {
+        // cycle: every degree 2, zero variance
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(degree_assortativity(&g), None);
+    }
+
+    #[test]
+    fn edgeless_graph_is_undefined() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(degree_assortativity(&g), None);
+    }
+
+    #[test]
+    fn two_hubs_joined_is_assortative_structure() {
+        // two stars whose centers are joined: centers (high deg) link to
+        // each other once but mostly to leaves → negative overall
+        let g =
+            GraphBuilder::from_edges(8, &[(0, 2), (0, 3), (0, 4), (1, 5), (1, 6), (1, 7), (0, 1)]);
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < 0.0);
+    }
+
+    #[test]
+    fn path_with_mixed_degrees_in_range() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = degree_assortativity(&g).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn ba_graphs_are_disassortative() {
+        // finite-size BA graphs are mildly disassortative
+        let g = crate_test_ba();
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < 0.05, "BA should not be assortative, got {r}");
+    }
+
+    // local mini-BA to avoid a circular dev-dependency on generators
+    fn crate_test_ba() -> crate::Graph {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 400;
+        let mut b = GraphBuilder::new(n);
+        let mut endpoints: Vec<u32> = vec![0, 1];
+        b.add_edge(0, 1, 1.0);
+        for u in 2..n as u32 {
+            let v = endpoints[rng.gen_range(0..endpoints.len())];
+            b.add_edge(u, v, 1.0);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn self_loop_only_graph_is_undefined() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 5.0);
+        assert_eq!(degree_assortativity(&b.build()), None);
+    }
+
+    #[test]
+    fn result_is_finite_with_self_loops_present() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(1, 3, 1.0);
+        b.add_edge(1, 1, 5.0);
+        let r = degree_assortativity(&b.build()).unwrap();
+        assert!(r.is_finite() && (-1.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,116 @@
+//! An atomic `f64` built on `AtomicU64` bit-casting.
+//!
+//! PLM keeps one incrementally-updated quantity per community — its volume —
+//! and updates it concurrently from the parallel move phase (§III-B: "The
+//! current implementation only stores and updates the volume of each
+//! community"). A compare-and-swap loop over the bit pattern provides the
+//! required atomic add without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `f64` that can be read and updated atomically.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Creates a new atomic float.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Loads the current value (relaxed: PLM tolerates stale reads).
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `delta` and returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomically subtracts `delta` and returns the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, delta: f64) -> f64 {
+        self.fetch_add(-delta)
+    }
+}
+
+impl Clone for AtomicF64 {
+    fn clone(&self) -> Self {
+        Self::new(self.load())
+    }
+}
+
+impl From<f64> for AtomicF64 {
+    fn from(v: f64) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn new_load_store() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-2.25);
+        assert_eq!(a.load(), -2.25);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let a = AtomicF64::new(1.0);
+        assert_eq!(a.fetch_add(2.0), 1.0);
+        assert_eq!(a.load(), 3.0);
+        assert_eq!(a.fetch_sub(0.5), 3.0);
+        assert_eq!(a.load(), 2.5);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let a = AtomicF64::new(0.0);
+        (0..10_000).into_par_iter().for_each(|_| {
+            a.fetch_add(1.0);
+        });
+        assert_eq!(a.load(), 10_000.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AtomicF64::default().load(), 0.0);
+    }
+
+    #[test]
+    fn clone_snapshots_value() {
+        let a = AtomicF64::new(7.0);
+        let b = a.clone();
+        a.store(9.0);
+        assert_eq!(b.load(), 7.0);
+    }
+}

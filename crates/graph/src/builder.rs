@@ -1,0 +1,269 @@
+//! Incremental graph construction.
+//!
+//! [`GraphBuilder`] accumulates edges in any order and assembles the CSR
+//! [`Graph`] in one pass: counting sort into rows (parallel over nodes),
+//! per-row sort, and merging of parallel edges by summing their weights —
+//! the convention graph coarsening relies on (§III-B).
+
+use crate::graph::{Graph, Node};
+use rayon::prelude::*;
+
+/// Builds a [`Graph`] from a stream of edges.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Edges as added, canonicalized to `u <= v`.
+    edges: Vec<(Node, Node, f64)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "node count exceeds u32 id space");
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before duplicate merging).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`. Duplicate edges are
+    /// merged at build time by summing weights. Panics if an endpoint is out
+    /// of range or the weight is not finite and positive.
+    pub fn add_edge(&mut self, u: Node, v: Node, w: f64) {
+        assert!((u as usize) < self.n, "node {u} out of range");
+        assert!((v as usize) < self.n, "node {v} out of range");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "edge weight must be positive and finite"
+        );
+        self.edges.push(if u <= v { (u, v, w) } else { (v, u, w) });
+    }
+
+    /// Adds an unweighted (weight 1) edge.
+    #[inline]
+    pub fn add_unweighted_edge(&mut self, u: Node, v: Node) {
+        self.add_edge(u, v, 1.0);
+    }
+
+    /// Bulk-adds unweighted edges.
+    pub fn extend_unweighted(&mut self, edges: impl IntoIterator<Item = (Node, Node)>) {
+        for (u, v) in edges {
+            self.add_unweighted_edge(u, v);
+        }
+    }
+
+    /// Consumes the builder and assembles the CSR graph.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let edges = self.edges;
+
+        // Count row sizes: each non-loop edge lands in both rows, loops once.
+        let mut counts = vec![0usize; n + 1];
+        for &(u, v, _) in &edges {
+            counts[u as usize + 1] += 1;
+            if u != v {
+                counts[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts; // offsets[u]..offsets[u+1] is row u (after scatter)
+
+        // Scatter.
+        let total = *offsets.last().unwrap();
+        let mut targets = vec![0 as Node; total];
+        let mut weights = vec![0.0f64; total];
+        let mut cursor = offsets.clone();
+        for &(u, v, w) in &edges {
+            let i = cursor[u as usize];
+            targets[i] = v;
+            weights[i] = w;
+            cursor[u as usize] += 1;
+            if u != v {
+                let j = cursor[v as usize];
+                targets[j] = u;
+                weights[j] = w;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        // Per-row sort + merge duplicates, in parallel. Each row is an
+        // independent slice, so split the flat arrays row by row.
+        let mut rows: Vec<(Vec<Node>, Vec<f64>)> = {
+            let mut t_rest: &mut [Node] = &mut targets;
+            let mut w_rest: &mut [f64] = &mut weights;
+            let mut slices = Vec::with_capacity(n);
+            for u in 0..n {
+                let len = offsets[u + 1] - offsets[u];
+                let (t_row, t_next) = t_rest.split_at_mut(len);
+                let (w_row, w_next) = w_rest.split_at_mut(len);
+                t_rest = t_next;
+                w_rest = w_next;
+                slices.push((t_row, w_row));
+            }
+            slices
+                .into_par_iter()
+                .map(|(t_row, w_row)| {
+                    let mut pairs: Vec<(Node, f64)> =
+                        t_row.iter().copied().zip(w_row.iter().copied()).collect();
+                    pairs.sort_unstable_by_key(|&(v, _)| v);
+                    let mut ts = Vec::with_capacity(pairs.len());
+                    let mut ws = Vec::with_capacity(pairs.len());
+                    for (v, w) in pairs {
+                        if ts.last() == Some(&v) {
+                            *ws.last_mut().unwrap() += w;
+                        } else {
+                            ts.push(v);
+                            ws.push(w);
+                        }
+                    }
+                    (ts, ws)
+                })
+                .collect()
+        };
+
+        // Reassemble compacted CSR.
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0usize);
+        let mut acc = 0usize;
+        for (ts, _) in &rows {
+            acc += ts.len();
+            new_offsets.push(acc);
+        }
+        let mut new_targets = Vec::with_capacity(acc);
+        let mut new_weights = Vec::with_capacity(acc);
+        for (ts, ws) in rows.drain(..) {
+            new_targets.extend(ts);
+            new_weights.extend(ws);
+        }
+
+        Graph::from_csr(new_offsets, new_targets, new_weights)
+    }
+
+    /// Convenience: build a graph straight from an unweighted edge list.
+    pub fn from_edges(n: usize, edges: &[(Node, Node)]) -> Graph {
+        let mut b = Self::with_capacity(n, edges.len());
+        for &(u, v) in edges {
+            b.add_unweighted_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Convenience: build a graph from a weighted edge list.
+    pub fn from_weighted_edges(n: usize, edges: &[(Node, Node, f64)]) -> Graph {
+        let mut b = Self::with_capacity(n, edges.len());
+        for &(u, v, w) in edges {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_path() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn merges_parallel_edges_by_summing() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 2.5);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.5));
+        assert_eq!(g.total_edge_weight(), 3.5);
+    }
+
+    #[test]
+    fn merges_duplicate_self_loops() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 0, 2.0);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.self_loop_weight(0), 3.0);
+        assert_eq!(g.volume(0), 6.0);
+        assert_eq!(g.total_edge_weight(), 3.0);
+    }
+
+    #[test]
+    fn edge_order_does_not_matter() {
+        let g1 = GraphBuilder::from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        let g2 = GraphBuilder::from_edges(4, &[(1, 2), (0, 1), (3, 2)]);
+        for u in g1.nodes() {
+            assert_eq!(g1.neighbors(u), g2.neighbors(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_nodes() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nan_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn with_capacity_counts() {
+        let mut b = GraphBuilder::with_capacity(3, 10);
+        assert_eq!(b.node_count(), 3);
+        b.add_unweighted_edge(0, 1);
+        assert_eq!(b.pending_edges(), 1);
+    }
+
+    #[test]
+    fn large_random_graph_is_consistent() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 500;
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..5000 {
+            let u = rng.gen_range(0..n as Node);
+            let v = rng.gen_range(0..n as Node);
+            b.add_edge(u, v, rng.gen_range(0.1..2.0));
+        }
+        let g = b.build();
+        assert!(g.check_consistency());
+        let vol: f64 = g.nodes().map(|u| g.volume(u)).sum();
+        assert!((vol - 2.0 * g.total_edge_weight()).abs() < 1e-9 * vol.abs());
+    }
+}

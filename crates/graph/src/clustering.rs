@@ -1,0 +1,153 @@
+//! Local clustering coefficients (the `LCC` column of Table I).
+//!
+//! The local clustering coefficient of a node is the fraction of closed
+//! wedges among its neighbor pairs. Triangles are counted by intersecting
+//! sorted adjacency rows, parallel over nodes. For massive graphs an optional
+//! uniform node sample bounds the cost.
+
+use crate::graph::{Graph, Node};
+use rayon::prelude::*;
+
+/// Number of triangles through `u` (self-loops ignored).
+fn triangles_at(g: &Graph, u: Node) -> u64 {
+    let nu: Vec<Node> = g.neighbors(u).iter().copied().filter(|&v| v != u).collect();
+    let mut count = 0u64;
+    for &v in &nu {
+        // count common neighbors of u and v, both adjacency rows sorted
+        let nv = g.neighbors(v);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if nu[i] != u && nu[i] != v {
+                        count += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    // every triangle at u counted once per incident neighbor edge direction
+    count / 2
+}
+
+/// Local clustering coefficient of node `u` in `[0, 1]`.
+pub fn local_clustering_coefficient(g: &Graph, u: Node) -> f64 {
+    let d = g.neighbors(u).iter().filter(|&&v| v != u).count();
+    if d < 2 {
+        return 0.0;
+    }
+    let wedges = (d * (d - 1) / 2) as f64;
+    triangles_at(g, u) as f64 / wedges
+}
+
+/// Average local clustering coefficient over all nodes (exact, parallel).
+pub fn average_local_clustering(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = g
+        .par_nodes()
+        .map(|u| local_clustering_coefficient(g, u))
+        .sum();
+    sum / n as f64
+}
+
+/// Approximate average LCC from a uniform sample of `sample` nodes
+/// (deterministic given `seed`). Exact if `sample >= n`.
+pub fn sampled_average_local_clustering(g: &Graph, sample: usize, seed: u64) -> f64 {
+    use rand::{rngs::SmallRng, seq::index::sample as index_sample, SeedableRng};
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    if sample >= n {
+        return average_local_clustering(g);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let picks = index_sample(&mut rng, n, sample).into_vec();
+    let sum: f64 = picks
+        .par_iter()
+        .map(|&u| local_clustering_coefficient(g, u as Node))
+        .sum();
+    sum / sample as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        for u in g.nodes() {
+            assert_eq!(local_clustering_coefficient(&g, u), 1.0);
+        }
+        assert_eq!(average_local_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(average_local_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2: LCC(1)=1, LCC(3)=1, LCC(0)=LCC(2)=2/3
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        assert!((local_clustering_coefficient(&g, 1) - 1.0).abs() < 1e-12);
+        assert!((local_clustering_coefficient(&g, 0) - 2.0 / 3.0).abs() < 1e-12);
+        let expect = (1.0 + 1.0 + 2.0 / 3.0 + 2.0 / 3.0) / 4.0;
+        assert!((average_local_clustering(&g) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_one_nodes_count_zero() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(local_clustering_coefficient(&g, 1), 0.0);
+        assert_eq!(local_clustering_coefficient(&g, 0), 0.0);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(0, 0, 9.0);
+        let g = b.build();
+        assert_eq!(local_clustering_coefficient(&g, 0), 1.0);
+    }
+
+    #[test]
+    fn sampled_equals_exact_when_sample_covers() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let exact = average_local_clustering(&g);
+        assert_eq!(sampled_average_local_clustering(&g, 100, 1), exact);
+    }
+
+    #[test]
+    fn sampled_is_close_on_clique() {
+        let mut b = GraphBuilder::new(20);
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let g = b.build();
+        assert!((sampled_average_local_clustering(&g, 5, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(average_local_clustering(&g), 0.0);
+        assert_eq!(sampled_average_local_clustering(&g, 10, 0), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Parallel graph coarsening by community contraction (§III-B).
+//!
+//! Given a graph `G` and a partition ζ, every community becomes a single
+//! coarse node. An edge between coarse nodes carries the summed weight of all
+//! inter-community edges; intra-community weight (including existing
+//! self-loops) becomes a self-loop on the coarse node. The mapping π from
+//! fine to coarse nodes is returned so solutions on the coarse graph can be
+//! *prolonged* back.
+//!
+//! The parallel scheme mirrors the paper's: threads scan disjoint portions of
+//! the edge set, producing partial coarse edge lists that are then merged —
+//! here by a parallel sort over `(cu, cv)` keys followed by a segmented
+//! weight reduction directly into CSR.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, Node};
+use crate::partition::Partition;
+use rayon::prelude::*;
+
+/// Result of contracting a graph by a partition.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The contracted graph `G'` (one node per non-empty community).
+    pub coarse: Graph,
+    /// π: fine node -> coarse node (dense ids `0..coarse.node_count()`).
+    pub fine_to_coarse: Vec<Node>,
+}
+
+impl Coarsening {
+    /// Prolongs a solution on the coarse graph to the fine graph:
+    /// `ζ(v) = ζ'(π(v))`.
+    pub fn prolong(&self, coarse_solution: &Partition) -> Partition {
+        assert_eq!(coarse_solution.len(), self.coarse.node_count());
+        let data: Vec<u32> = self
+            .fine_to_coarse
+            .par_iter()
+            .map(|&c| coarse_solution.subset_of(c))
+            .collect();
+        Partition::from_vec(data)
+    }
+}
+
+/// Contracts `g` according to `zeta` (parallel).
+///
+/// # Examples
+///
+/// ```
+/// use parcom_graph::{coarsen, GraphBuilder, Partition};
+///
+/// // a path 0-1-2-3 contracted into two pairs
+/// let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let zeta = Partition::from_vec(vec![0, 0, 1, 1]);
+/// let c = coarsen(&g, &zeta);
+///
+/// assert_eq!(c.coarse.node_count(), 2);
+/// assert_eq!(c.coarse.self_loop_weight(0), 1.0); // intra edge 0-1
+/// assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0)); // the cut edge 1-2
+/// ```
+pub fn coarsen(g: &Graph, zeta: &Partition) -> Coarsening {
+    assert_eq!(zeta.len(), g.node_count());
+
+    // Dense community ids without mutating the caller's partition.
+    let mut compacted = zeta.clone();
+    let k = compacted.compact();
+    let fine_to_coarse: Vec<Node> = compacted.as_slice().to_vec();
+
+    // Each undirected fine edge once, mapped to a canonical coarse pair.
+    // rayon's fold gives the per-thread partial edge lists of the paper's
+    // scheme; the reduce-by-sort merges them.
+    let f2c = &fine_to_coarse;
+    let mut coarse_edges: Vec<(Node, Node, f64)> = g
+        .par_nodes()
+        .flat_map_iter(|u| {
+            let cu = f2c[u as usize];
+            g.edges_of(u)
+                .filter(move |&(v, _)| v >= u)
+                .map(move |(v, w)| {
+                    let cv = f2c[v as usize];
+                    if cu <= cv {
+                        (cu, cv, w)
+                    } else {
+                        (cv, cu, w)
+                    }
+                })
+        })
+        .collect();
+
+    coarse_edges.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+    // Segmented sum of weights over equal (cu, cv) keys.
+    let mut b = GraphBuilder::with_capacity(k, coarse_edges.len().min(k * 8));
+    let mut it = coarse_edges.into_iter();
+    if let Some((mut cu, mut cv, mut acc)) = it.next() {
+        for (u, v, w) in it {
+            if u == cu && v == cv {
+                acc += w;
+            } else {
+                b.add_edge(cu, cv, acc);
+                cu = u;
+                cv = v;
+                acc = w;
+            }
+        }
+        b.add_edge(cu, cv, acc);
+    }
+
+    Coarsening {
+        coarse: b.build(),
+        fine_to_coarse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Two triangles joined by one edge; partition = the two triangles.
+    fn two_triangles() -> (Graph, Partition) {
+        let g =
+            GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let p = Partition::from_vec(vec![0, 0, 0, 1, 1, 1]);
+        (g, p)
+    }
+
+    #[test]
+    fn contracts_to_community_graph() {
+        let (g, p) = two_triangles();
+        let c = coarsen(&g, &p);
+        assert_eq!(c.coarse.node_count(), 2);
+        // intra weight 3 per triangle becomes a self-loop; one cut edge
+        assert_eq!(c.coarse.self_loop_weight(0), 3.0);
+        assert_eq!(c.coarse.self_loop_weight(1), 3.0);
+        assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn preserves_total_edge_weight() {
+        let (g, p) = two_triangles();
+        let c = coarsen(&g, &p);
+        assert_eq!(c.coarse.total_edge_weight(), g.total_edge_weight());
+    }
+
+    #[test]
+    fn preserves_volume_per_community() {
+        let (g, p) = two_triangles();
+        let c = coarsen(&g, &p);
+        for cu in c.coarse.nodes() {
+            let fine_vol: f64 = g
+                .nodes()
+                .filter(|&v| c.fine_to_coarse[v as usize] == cu)
+                .map(|v| g.volume(v))
+                .sum();
+            assert!((c.coarse.volume(cu) - fine_vol).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singleton_partition_preserves_structure() {
+        let (g, _) = two_triangles();
+        let c = coarsen(&g, &Partition::singleton(6));
+        assert_eq!(c.coarse.node_count(), g.node_count());
+        assert_eq!(c.coarse.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            assert_eq!(
+                c.coarse.neighbors(c.fine_to_coarse[u as usize]).len(),
+                g.degree(u)
+            );
+        }
+    }
+
+    #[test]
+    fn all_in_one_collapses_to_single_loop() {
+        let (g, _) = two_triangles();
+        let c = coarsen(&g, &Partition::all_in_one(6));
+        assert_eq!(c.coarse.node_count(), 1);
+        assert_eq!(c.coarse.edge_count(), 1);
+        assert_eq!(c.coarse.self_loop_weight(0), 7.0);
+    }
+
+    #[test]
+    fn handles_noncontiguous_community_ids() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        let p = Partition::from_vec(vec![10, 10, 99, 99]);
+        let c = coarsen(&g, &p);
+        assert_eq!(c.coarse.node_count(), 2);
+        assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn prolong_maps_back() {
+        let (g, p) = two_triangles();
+        let c = coarsen(&g, &p);
+        // coarse solution: both communities merge into one
+        let coarse_sol = Partition::all_in_one(2);
+        let fine = c.prolong(&coarse_sol);
+        assert_eq!(fine.len(), g.node_count());
+        assert_eq!(fine.number_of_subsets(), 1);
+
+        // identity coarse solution reproduces the original grouping
+        let fine2 = c.prolong(&Partition::singleton(2));
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                assert_eq!(p.in_same_subset(u, v), fine2.in_same_subset(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_carry_into_coarse_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 2.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let c = coarsen(&g, &Partition::all_in_one(2));
+        assert_eq!(c.coarse.self_loop_weight(0), 3.0);
+        assert_eq!(c.coarse.total_edge_weight(), g.total_edge_weight());
+    }
+
+    #[test]
+    fn empty_graph_coarsens() {
+        let g = GraphBuilder::new(0).build();
+        let c = coarsen(&g, &Partition::singleton(0));
+        assert_eq!(c.coarse.node_count(), 0);
+    }
+}

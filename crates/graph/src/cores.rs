@@ -1,0 +1,228 @@
+//! k-core decomposition (Matula–Beck / Batagelj–Zaveršnik peeling).
+//!
+//! The core number of a node is the largest `k` such that the node belongs
+//! to a subgraph of minimum degree `k`. Core numbers summarize the density
+//! hierarchy of a complex network and are a standard companion statistic to
+//! community structure (dense communities live in high cores; the hubs of
+//! scale-free instances concentrate there).
+
+use crate::graph::{Graph, Node};
+
+/// Result of a k-core decomposition.
+#[derive(Clone, Debug)]
+pub struct CoreDecomposition {
+    /// Core number per node.
+    pub core: Vec<u32>,
+    /// The degeneracy: the maximum core number (0 for edgeless graphs).
+    pub degeneracy: u32,
+}
+
+impl CoreDecomposition {
+    /// Runs the linear-time peeling algorithm (self-loops ignored).
+    pub fn run(g: &Graph) -> Self {
+        let n = g.node_count();
+        if n == 0 {
+            return Self {
+                core: Vec::new(),
+                degeneracy: 0,
+            };
+        }
+        // simple degrees without self-loops
+        let mut degree: Vec<u32> = (0..n as Node)
+            .map(|u| g.neighbors(u).iter().filter(|&&v| v != u).count() as u32)
+            .collect();
+        let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+        // bucket sort nodes by degree
+        let mut bin = vec![0usize; max_degree + 2];
+        for &d in &degree {
+            bin[d as usize] += 1;
+        }
+        let mut start = 0;
+        for b in bin.iter_mut() {
+            let count = *b;
+            *b = start;
+            start += count;
+        }
+        let mut pos = vec![0usize; n];
+        let mut vert = vec![0 as Node; n];
+        {
+            let mut cursor = bin.clone();
+            for v in 0..n {
+                let d = degree[v] as usize;
+                pos[v] = cursor[d];
+                vert[cursor[d]] = v as Node;
+                cursor[d] += 1;
+            }
+        }
+
+        // peel in non-decreasing degree order
+        let mut core = vec![0u32; n];
+        for i in 0..n {
+            let v = vert[i];
+            core[v as usize] = degree[v as usize];
+            for &u in g.neighbors(v) {
+                if u == v {
+                    continue;
+                }
+                let du = degree[u as usize];
+                if du > degree[v as usize] {
+                    // move u one bucket down: swap with the first node of
+                    // its bucket, then shrink the bucket
+                    let pu = pos[u as usize];
+                    let bucket_start = bin[du as usize];
+                    let w = vert[bucket_start];
+                    if u != w {
+                        vert[pu] = w;
+                        vert[bucket_start] = u;
+                        pos[u as usize] = bucket_start;
+                        pos[w as usize] = pu;
+                    }
+                    bin[du as usize] += 1;
+                    degree[u as usize] -= 1;
+                }
+            }
+        }
+        let degeneracy = core.iter().copied().max().unwrap_or(0);
+        Self { core, degeneracy }
+    }
+
+    /// Nodes with core number at least `k`.
+    pub fn k_core_members(&self, k: u32) -> Vec<Node> {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= k)
+            .map(|(v, _)| v as Node)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn clique_core_numbers() {
+        // K5: every node has core number 4
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_unweighted_edge(u, v);
+            }
+        }
+        let d = CoreDecomposition::run(&b.build());
+        assert_eq!(d.degeneracy, 4);
+        assert!(d.core.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = CoreDecomposition::run(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // triangle + pendant: triangle in 2-core, pendant in 1-core
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let d = CoreDecomposition::run(&g);
+        assert_eq!(d.core, vec![2, 2, 2, 1]);
+        assert_eq!(d.k_core_members(2), vec![0, 1, 2]);
+        assert_eq!(d.k_core_members(3), Vec::<Node>::new());
+    }
+
+    #[test]
+    fn star_is_one_core() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let d = CoreDecomposition::run(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert_eq!(d.core[0], 1); // the hub peels down to 1
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_core() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]);
+        let d = CoreDecomposition::run(&g);
+        assert_eq!(d.core[2], 0);
+        assert_eq!(d.k_core_members(0).len(), 3);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 3.0);
+        b.add_edge(0, 1, 1.0);
+        let d = CoreDecomposition::run(&b.build());
+        assert_eq!(d.core, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = CoreDecomposition::run(&GraphBuilder::new(0).build());
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.core.is_empty());
+    }
+
+    #[test]
+    fn two_cliques_bridge() {
+        // two K4s joined by one edge: all clique nodes 3-core
+        let mut b = GraphBuilder::new(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_unweighted_edge(base + i, base + j);
+                }
+            }
+        }
+        b.add_unweighted_edge(3, 4);
+        let d = CoreDecomposition::run(&b.build());
+        assert_eq!(d.degeneracy, 3);
+        assert!(d.core.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn agrees_with_naive_peeling_on_random_graph() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 120;
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..500 {
+            let u = rng.gen_range(0..n as Node);
+            let v = rng.gen_range(0..n as Node);
+            if u != v {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let g = b.build();
+        let fast = CoreDecomposition::run(&g);
+
+        // naive: repeatedly remove min-degree nodes
+        let mut alive = vec![true; n];
+        let mut deg: Vec<i64> = (0..n as Node)
+            .map(|u| g.neighbors(u).iter().filter(|&&v| v != u).count() as i64)
+            .collect();
+        let mut naive = vec![0u32; n];
+        let mut k = 0i64;
+        for _ in 0..n {
+            let (v, &d) = deg
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| alive[v])
+                .min_by_key(|&(_, d)| *d)
+                .unwrap();
+            k = k.max(d);
+            naive[v] = k as u32;
+            alive[v] = false;
+            for &u in g.neighbors(v as Node) {
+                if alive[u as usize] && u as usize != v {
+                    deg[u as usize] -= 1;
+                }
+            }
+        }
+        assert_eq!(fast.core, naive);
+    }
+}

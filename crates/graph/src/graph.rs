@@ -1,0 +1,379 @@
+//! The immutable CSR graph.
+//!
+//! `Graph` stores an undirected, weighted graph in compressed sparse row
+//! layout: for every node the sorted list of neighbors and the parallel list
+//! of edge weights. Each undirected edge `{u, v}` with `u != v` appears in
+//! both adjacency rows; a self-loop `{u, u}` appears once in `u`'s row.
+//!
+//! Conventions (matching the paper's §III definitions):
+//!
+//! * `total_edge_weight` is ω(E): the sum of edge weights with self-loops
+//!   counted **once**.
+//! * `weighted_degree(u)` is the sum of weights of `u`'s adjacency row
+//!   (self-loop counted once).
+//! * `volume(u)` = weighted_degree(u) + self_loop_weight(u), i.e. self-loops
+//!   count **twice** — exactly the paper's `vol(u)`. Consequently
+//!   `Σ_u volume(u) = 2 ω(E)`.
+
+use rayon::prelude::*;
+
+/// Node identifier. Graphs are limited to `u32::MAX` nodes, which halves the
+/// memory traffic of adjacency scans compared to `usize` ids.
+pub type Node = u32;
+
+/// An immutable, undirected, weighted graph in CSR layout.
+///
+/// # Examples
+///
+/// ```
+/// use parcom_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_unweighted_edge(0, 1);
+/// b.add_edge(1, 2, 2.5);
+/// let g = b.build();
+///
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.weighted_degree(1), 3.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Row offsets; `offsets[u]..offsets[u+1]` indexes `u`'s adjacency.
+    offsets: Vec<usize>,
+    /// Concatenated, per-row-sorted neighbor lists.
+    targets: Vec<Node>,
+    /// Edge weights parallel to `targets`.
+    weights: Vec<f64>,
+    /// Cached per-node sum of incident weights (self-loop once).
+    weighted_degrees: Vec<f64>,
+    /// Cached per-node self-loop weight (0.0 for most nodes).
+    self_loops: Vec<f64>,
+    /// ω(E): total edge weight, self-loops counted once.
+    total_weight: f64,
+    /// Number of undirected edges (self-loops count one).
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Assembles a graph from raw CSR arrays. Rows must be sorted by target
+    /// and free of duplicate targets; every non-loop edge must appear in both
+    /// endpoint rows with equal weight. [`crate::GraphBuilder`] guarantees
+    /// this; `debug_assert`s verify it in test builds.
+    pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<Node>, weights: Vec<f64>) -> Self {
+        let n = offsets.len() - 1;
+        debug_assert_eq!(targets.len(), weights.len());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+
+        let mut weighted_degrees = vec![0.0; n];
+        let mut self_loops = vec![0.0; n];
+        let mut loop_total = 0.0;
+        let mut directed_weight = 0.0;
+        let mut num_loops = 0usize;
+        for u in 0..n {
+            let row = offsets[u]..offsets[u + 1];
+            let mut wd = 0.0;
+            for i in row {
+                wd += weights[i];
+                if targets[i] as usize == u {
+                    self_loops[u] += weights[i];
+                    loop_total += weights[i];
+                    num_loops += 1;
+                }
+            }
+            weighted_degrees[u] = wd;
+            directed_weight += wd;
+        }
+        // Non-loop edges are stored twice, loops once.
+        let total_weight = (directed_weight - loop_total) / 2.0 + loop_total;
+        let num_edges = (targets.len() - num_loops) / 2 + num_loops;
+
+        let g = Self {
+            offsets,
+            targets,
+            weights,
+            weighted_degrees,
+            self_loops,
+            total_weight,
+            num_edges,
+        };
+        debug_assert!(g.check_consistency(), "inconsistent CSR graph");
+        g
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m` (self-loops count one).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.num_edges
+    }
+
+    /// ω(E): total edge weight with self-loops counted once.
+    #[inline]
+    pub fn total_edge_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Iterator over all node ids `0..n`.
+    #[inline]
+    pub fn nodes(&self) -> std::ops::Range<Node> {
+        0..self.node_count() as Node
+    }
+
+    /// Parallel iterator over all node ids.
+    #[inline]
+    pub fn par_nodes(&self) -> rayon::range::Iter<Node> {
+        (0..self.node_count() as Node).into_par_iter()
+    }
+
+    /// Unweighted degree of `u` (number of adjacency entries; a self-loop
+    /// contributes one).
+    #[inline]
+    pub fn degree(&self, u: Node) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Sorted neighbor ids of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: Node) -> &[Node] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Neighbor ids and the parallel slice of edge weights.
+    #[inline]
+    pub fn neighbors_and_weights(&self, u: Node) -> (&[Node], &[f64]) {
+        let row = self.offsets[u as usize]..self.offsets[u as usize + 1];
+        (&self.targets[row.clone()], &self.weights[row])
+    }
+
+    /// Iterator over `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    pub fn edges_of(&self, u: Node) -> impl Iterator<Item = (Node, f64)> + '_ {
+        let (t, w) = self.neighbors_and_weights(u);
+        t.iter().copied().zip(w.iter().copied())
+    }
+
+    /// Weight of the edge `{u, v}`, or `None` if absent. O(log deg(u)).
+    pub fn edge_weight(&self, u: Node, v: Node) -> Option<f64> {
+        let (t, w) = self.neighbors_and_weights(u);
+        t.binary_search(&v).ok().map(|i| w[i])
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Sum of incident edge weights of `u` (self-loop counted once).
+    #[inline]
+    pub fn weighted_degree(&self, u: Node) -> f64 {
+        self.weighted_degrees[u as usize]
+    }
+
+    /// Self-loop weight ω(u, u) (0 if no loop).
+    #[inline]
+    pub fn self_loop_weight(&self, u: Node) -> f64 {
+        self.self_loops[u as usize]
+    }
+
+    /// The paper's `vol(u)`: incident weight with self-loops counted twice.
+    #[inline]
+    pub fn volume(&self, u: Node) -> f64 {
+        self.weighted_degrees[u as usize] + self.self_loops[u as usize]
+    }
+
+    /// Maximum unweighted degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.par_nodes().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Visits every undirected edge exactly once as `(u, v, w)` with `u <= v`.
+    pub fn for_edges(&self, mut f: impl FnMut(Node, Node, f64)) {
+        for u in self.nodes() {
+            for (v, w) in self.edges_of(u) {
+                if v >= u {
+                    f(u, v, w);
+                }
+            }
+        }
+    }
+
+    /// Collects every undirected edge once as `(u, v, w)` with `u <= v`,
+    /// in parallel.
+    pub fn par_collect_edges(&self) -> Vec<(Node, Node, f64)> {
+        self.par_nodes()
+            .flat_map_iter(|u| {
+                self.edges_of(u)
+                    .filter(move |&(v, _)| v >= u)
+                    .map(move |(v, w)| (u, v, w))
+            })
+            .collect()
+    }
+
+    /// Parallel sum over undirected edges of `f(u, v, w)` (each edge once).
+    pub fn par_edge_sum(&self, f: impl Fn(Node, Node, f64) -> f64 + Sync) -> f64 {
+        self.par_nodes()
+            .map(|u| {
+                self.edges_of(u)
+                    .filter(|&(v, _)| v >= u)
+                    .map(|(v, w)| f(u, v, w))
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Applies `f` to every node in parallel.
+    pub fn par_for_nodes(&self, f: impl Fn(Node) + Send + Sync) {
+        self.par_nodes().for_each(f);
+    }
+
+    /// Structural invariants; used by tests and `debug_assert` on build.
+    pub fn check_consistency(&self) -> bool {
+        let n = self.node_count();
+        if self.offsets.len() != n + 1 || self.offsets[0] != 0 {
+            return false;
+        }
+        for u in 0..n {
+            if self.offsets[u] > self.offsets[u + 1] {
+                return false;
+            }
+            let row = &self.targets[self.offsets[u]..self.offsets[u + 1]];
+            // sorted, no duplicates, in range
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            if row.iter().any(|&v| v as usize >= n) {
+                return false;
+            }
+        }
+        // symmetry
+        for u in 0..n as Node {
+            for (v, w) in self.edges_of(u) {
+                if v != u && self.edge_weight(v, u) != Some(w) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle_with_loop() -> crate::Graph {
+        // triangle 0-1-2 plus self-loop at 2 with weight 5
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(0, 2, 3.0);
+        b.add_edge(2, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_with_loop();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.total_edge_weight(), 11.0);
+    }
+
+    #[test]
+    fn degrees_and_volumes() {
+        let g = triangle_with_loop();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3); // 0, 1 and the loop entry
+        assert_eq!(g.weighted_degree(0), 4.0);
+        assert_eq!(g.weighted_degree(2), 10.0); // 2 + 3 + 5
+        assert_eq!(g.volume(2), 15.0); // loop counted twice
+        assert_eq!(g.self_loop_weight(2), 5.0);
+        assert_eq!(g.self_loop_weight(0), 0.0);
+    }
+
+    #[test]
+    fn volume_sums_to_twice_total_weight() {
+        let g = triangle_with_loop();
+        let vol: f64 = g.nodes().map(|u| g.volume(u)).sum();
+        assert!((vol - 2.0 * g.total_edge_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_weighted() {
+        let g = triangle_with_loop();
+        assert_eq!(g.neighbors(2), &[0, 1, 2]);
+        assert_eq!(g.edge_weight(2, 0), Some(3.0));
+        assert_eq!(g.edge_weight(0, 2), Some(3.0));
+        assert_eq!(g.edge_weight(2, 2), Some(5.0));
+        assert_eq!(g.edge_weight(0, 0), None);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn for_edges_visits_each_once() {
+        let g = triangle_with_loop();
+        let mut edges = vec![];
+        g.for_edges(|u, v, w| edges.push((u, v, w)));
+        edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(
+            edges,
+            vec![(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0), (2, 2, 5.0)]
+        );
+    }
+
+    #[test]
+    fn par_collect_edges_matches_sequential() {
+        let g = triangle_with_loop();
+        let mut seq = vec![];
+        g.for_edges(|u, v, w| seq.push((u, v, w)));
+        let mut par = g.par_collect_edges();
+        seq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        par.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_edge_sum_counts_weights() {
+        let g = triangle_with_loop();
+        assert_eq!(g.par_edge_sum(|_, _, w| w), 11.0);
+        assert_eq!(g.par_edge_sum(|_, _, _| 1.0), 4.0);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = triangle_with_loop();
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_edge_weight(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.volume(3), 0.0);
+    }
+
+    #[test]
+    fn consistency_holds() {
+        assert!(triangle_with_loop().check_consistency());
+    }
+}

@@ -1,0 +1,151 @@
+//! Fast, non-cryptographic hashing.
+//!
+//! The offline dependency allowlist does not include `rustc-hash` or `ahash`,
+//! so this module hand-rolls the two hash functions the system needs:
+//!
+//! * [`FxHasher`] — the multiply-based hasher used throughout rustc; a good
+//!   default for integer keys in hot paths (neighbor-community maps, coarse
+//!   edge aggregation).
+//! * [`djb2`] — Bernstein's string hash, used by the paper's EPP ensemble
+//!   combiner to map a tuple of `b` community identifiers to a core-community
+//!   identifier (§III-D).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// rustc's Fx hash: one multiply and a rotate per word. Extremely fast for
+/// integer keys; not HashDoS resistant (acceptable: keys are internal ids).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Bernstein's djb2 hash over a slice of 32-bit words.
+///
+/// The EPP combiner hashes the vector `(ζ_1(v), …, ζ_b(v))` of base-solution
+/// community ids per node; nodes agree on the result iff they agree in every
+/// base solution (modulo unlikely collisions), which realizes Eq. (III.2).
+#[inline]
+pub fn djb2(words: &[u32]) -> u64 {
+    let mut hash: u64 = 5381;
+    for &w in words {
+        // hash * 33 + byte, applied to each byte of the word.
+        for b in w.to_le_bytes() {
+            hash = hash.wrapping_mul(33).wrapping_add(b as u64);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn fx_differs_for_different_keys() {
+        assert_ne!(hash_one(1u32), hash_one(2u32));
+        assert_ne!(hash_one(0u64), hash_one(1u64));
+    }
+
+    #[test]
+    fn fx_is_deterministic() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one((7u32, 9u32)), hash_one((7u32, 9u32)));
+    }
+
+    #[test]
+    fn fx_handles_odd_byte_lengths() {
+        assert_ne!(
+            hash_one([1u8, 2, 3].as_slice()),
+            hash_one([1u8, 2].as_slice())
+        );
+    }
+
+    #[test]
+    fn fx_map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000 {
+            assert_eq!(m[&i], i * 2);
+        }
+    }
+
+    #[test]
+    fn djb2_matches_reference_values() {
+        // djb2 of empty input is the initial basis.
+        assert_eq!(djb2(&[]), 5381);
+        // One zero word = four zero bytes: ((5381*33)*33)*33)*33.
+        let mut h: u64 = 5381;
+        for _ in 0..4 {
+            h = h.wrapping_mul(33);
+        }
+        assert_eq!(djb2(&[0]), h);
+    }
+
+    #[test]
+    fn djb2_distinguishes_tuples() {
+        assert_ne!(djb2(&[1, 2]), djb2(&[2, 1]));
+        assert_ne!(djb2(&[1, 2, 3]), djb2(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn djb2_equal_inputs_equal_outputs() {
+        assert_eq!(djb2(&[9, 8, 7]), djb2(&[9, 8, 7]));
+    }
+}

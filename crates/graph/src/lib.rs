@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # parcom-graph — parallel graph substrate
+//!
+//! This crate provides the data-structure layer that the community detection
+//! algorithms in `parcom-core` are built on, mirroring the role the NetworKit
+//! graph class plays in the paper *Engineering Parallel Algorithms for
+//! Community Detection in Massive Networks* (Staudt & Meyerhenke):
+//!
+//! * [`Graph`] — an immutable, undirected, weighted graph in CSR layout with
+//!   cache-friendly neighbor scans and rayon-based parallel iteration.
+//! * [`GraphBuilder`] — incremental construction with parallel-edge merging.
+//! * [`Partition`] / [`AtomicPartition`] — community assignments, the latter a
+//!   lock-free label array shared between threads (the paper's benign-race
+//!   label updates, made data-race-free with relaxed atomics).
+//! * [`coarsening`] — the parallel coarsening scheme of §III-B: contract a
+//!   graph according to a partition, folding intra-community weight into
+//!   self-loops.
+//! * Analytics used by the experiments: connected components, local
+//!   clustering coefficients, degree statistics (Table I columns).
+//!
+//! Node identifiers are `u32` ([`Node`]); edge weights are `f64`.
+
+pub mod assortativity;
+pub mod atomicf64;
+pub mod builder;
+pub mod clustering;
+pub mod coarsening;
+pub mod components;
+pub mod cores;
+pub mod graph;
+pub mod hashing;
+pub mod parallel;
+pub mod partition;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use assortativity::degree_assortativity;
+pub use atomicf64::AtomicF64;
+pub use builder::GraphBuilder;
+pub use coarsening::{coarsen, Coarsening};
+pub use cores::CoreDecomposition;
+pub use graph::{Graph, Node};
+pub use partition::{AtomicPartition, Partition};
+pub use subgraph::{induced_subgraph, largest_component_subgraph, Subgraph};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::coarsening::{coarsen, Coarsening};
+    pub use crate::graph::{Graph, Node};
+    pub use crate::partition::{AtomicPartition, Partition};
+}

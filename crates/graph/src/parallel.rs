@@ -1,0 +1,98 @@
+//! Thread-pool helpers for scaling experiments.
+//!
+//! The paper's strong/weak scaling experiments (Figs. 2, 3, 10) sweep the
+//! number of OpenMP threads from 1 to 32. The rayon equivalent is running the
+//! algorithm inside a dedicated pool of the requested size; [`with_threads`]
+//! encapsulates that.
+
+/// Runs `f` on a rayon pool with exactly `threads` worker threads.
+///
+/// A fresh pool is built per call; construction cost is microseconds and
+/// irrelevant next to the graph workloads measured with it.
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    assert!(threads >= 1, "need at least one thread");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+/// Number of threads rayon would use by default in the current context.
+pub fn default_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal ranges.
+///
+/// Used where an algorithm wants explicit per-thread chunks (e.g. the
+/// per-thread partial coarse graphs of §III-B) rather than rayon's adaptive
+/// splitting.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_threads_runs_closure() {
+        let sum: u64 = with_threads(2, || (0..1000u64).into_par_iter().sum());
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn with_threads_controls_pool_size() {
+        let t = with_threads(3, rayon::current_num_threads);
+        assert_eq!(t, 3);
+        let t = with_threads(1, rayon::current_num_threads);
+        assert_eq!(t, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        with_threads(0, || ());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything() {
+        for len in [0usize, 1, 5, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                assert_eq!(expect, len);
+                // near-equal: sizes differ by at most one
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_never_exceed_parts() {
+        assert_eq!(chunk_ranges(4, 8).len(), 4);
+        assert_eq!(chunk_ranges(100, 8).len(), 8);
+    }
+}

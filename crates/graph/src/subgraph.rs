@@ -1,0 +1,135 @@
+//! Induced subgraph extraction.
+//!
+//! Used to restrict analysis to a node subset — most commonly the largest
+//! connected component, the standard preprocessing step for community
+//! detection corpora (PGPgiantcompo in Table I *is* the giant component of
+//! a larger network).
+
+use crate::builder::GraphBuilder;
+use crate::components::ConnectedComponents;
+use crate::graph::{Graph, Node};
+
+/// An induced subgraph together with the id mappings in both directions.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// The induced subgraph with compact node ids `0..k`.
+    pub graph: Graph,
+    /// Original id of each subgraph node.
+    pub to_original: Vec<Node>,
+    /// Subgraph id of each original node (`None` if excluded).
+    pub from_original: Vec<Option<Node>>,
+}
+
+/// Extracts the subgraph induced by `nodes` (duplicates ignored; order
+/// defines the new ids). Panics on out-of-range ids.
+pub fn induced_subgraph(g: &Graph, nodes: &[Node]) -> Subgraph {
+    let n = g.node_count();
+    let mut from_original: Vec<Option<Node>> = vec![None; n];
+    let mut to_original: Vec<Node> = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        assert!((v as usize) < n, "node {v} out of range");
+        if from_original[v as usize].is_none() {
+            from_original[v as usize] = Some(to_original.len() as Node);
+            to_original.push(v);
+        }
+    }
+
+    let mut b = GraphBuilder::new(to_original.len());
+    for (new_u, &orig_u) in to_original.iter().enumerate() {
+        for (orig_v, w) in g.edges_of(orig_u) {
+            if orig_v < orig_u {
+                continue; // visit each edge once (self-loops included via ==)
+            }
+            if let Some(new_v) = from_original[orig_v as usize] {
+                b.add_edge(new_u as Node, new_v, w);
+            }
+        }
+    }
+    Subgraph {
+        graph: b.build(),
+        to_original,
+        from_original,
+    }
+}
+
+/// Extracts the largest connected component of `g`.
+pub fn largest_component_subgraph(g: &Graph) -> Subgraph {
+    let cc = ConnectedComponents::run(g);
+    induced_subgraph(g, &cc.largest_component())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        // triangle 0-1-2, pendant 3 on 2, isolated 4, self-loop at 1
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(0, 2, 3.0);
+        b.add_edge(2, 3, 4.0);
+        b.add_edge(1, 1, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn extracts_triangle() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 4); // 3 triangle edges + loop at 1
+        assert_eq!(sub.graph.edge_weight(0, 1), Some(1.0));
+        assert_eq!(sub.graph.self_loop_weight(1), 5.0);
+        assert!(!sub.graph.has_edge(2, 0) || sub.graph.edge_weight(0, 2) == Some(3.0));
+    }
+
+    #[test]
+    fn mappings_are_inverse() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[3, 1, 0]);
+        assert_eq!(sub.to_original, vec![3, 1, 0]);
+        for (new_id, &orig) in sub.to_original.iter().enumerate() {
+            assert_eq!(sub.from_original[orig as usize], Some(new_id as Node));
+        }
+        assert_eq!(sub.from_original[2], None);
+        // edge 1-3 does not exist; only 0-1 survives
+        assert_eq!(sub.graph.edge_count(), 2); // 0-1 plus self-loop at 1
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[0, 0, 1, 1]);
+        assert_eq!(sub.graph.node_count(), 2);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[]);
+        assert_eq!(sub.graph.node_count(), 0);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = sample();
+        let sub = largest_component_subgraph(&g);
+        assert_eq!(sub.graph.node_count(), 4); // 0,1,2,3
+        assert!(!sub.to_original.contains(&4));
+        assert_eq!(sub.graph.edge_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_ids() {
+        induced_subgraph(&sample(), &[9]);
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let g = sample();
+        let sub = induced_subgraph(&g, &[2, 3]);
+        assert_eq!(sub.graph.edge_weight(0, 1), Some(4.0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Whitespace-separated edge lists (SNAP style).
+//!
+//! Each non-comment line is `u v [w]`. Node ids may be arbitrary
+//! non-negative integers; they are compacted to `0..n` in first-seen order
+//! (SNAP files routinely have gaps). Comment lines start with `#` or `%`.
+
+use crate::{parse_error, IoError};
+use parcom_graph::hashing::FxHashMap;
+use parcom_graph::{Graph, GraphBuilder, Node};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Result of reading an edge list: the graph plus the original node labels
+/// (indexed by compact node id).
+#[derive(Debug)]
+pub struct EdgeListGraph {
+    /// The parsed graph with compact node ids.
+    pub graph: Graph,
+    /// `labels[v]` is the id node `v` had in the file.
+    pub labels: Vec<u64>,
+}
+
+/// Reads an edge list from a reader.
+pub fn read_edge_list_from(reader: impl Read) -> Result<EdgeListGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut ids: FxHashMap<u64, Node> = FxHashMap::default();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut edges: Vec<(Node, Node, f64)> = Vec::new();
+
+    let intern = |raw: u64, ids: &mut FxHashMap<u64, Node>, labels: &mut Vec<u64>| -> Node {
+        *ids.entry(raw).or_insert_with(|| {
+            let id = labels.len() as Node;
+            labels.push(raw);
+            id
+        })
+    };
+
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut tok = t.split_whitespace();
+        let u: u64 = tok
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|_| parse_error(lineno, "bad source id"))?;
+        let v: u64 = tok
+            .next()
+            .ok_or_else(|| parse_error(lineno, "missing target id"))?
+            .parse()
+            .map_err(|_| parse_error(lineno, "bad target id"))?;
+        let w: f64 = match tok.next() {
+            Some(s) => s
+                .parse()
+                .map_err(|_| parse_error(lineno, "bad edge weight"))?,
+            None => 1.0,
+        };
+        let cu = intern(u, &mut ids, &mut labels);
+        let cv = intern(v, &mut ids, &mut labels);
+        edges.push((cu, cv, w));
+    }
+
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(EdgeListGraph {
+        graph: b.build(),
+        labels,
+    })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<EdgeListGraph, IoError> {
+    read_edge_list_from(std::fs::File::open(path)?)
+}
+
+/// Writes a graph as an edge list (each undirected edge once, weights
+/// emitted unless all are 1).
+pub fn write_edge_list_to(g: &Graph, writer: impl Write) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    let weighted = g.nodes().any(|u| g.edges_of(u).any(|(_, wt)| wt != 1.0));
+    writeln!(
+        w,
+        "# parcom edge list: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
+    let mut result = Ok(());
+    g.for_edges(|u, v, wt| {
+        if result.is_err() {
+            return;
+        }
+        result = if weighted {
+            writeln!(w, "{u} {v} {wt}")
+        } else {
+            writeln!(w, "{u} {v}")
+        };
+    });
+    result?;
+    Ok(())
+}
+
+/// Writes an edge list to a file path.
+pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_edge_list_to(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_gaps() {
+        let input = "# SNAP-style\n10 20\n20 30\n% other comment\n10 30\n";
+        let el = read_edge_list_from(input.as_bytes()).unwrap();
+        assert_eq!(el.graph.node_count(), 3);
+        assert_eq!(el.graph.edge_count(), 3);
+        assert_eq!(el.labels, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parses_weights() {
+        let el = read_edge_list_from("0 1 2.5\n1 2 0.5\n".as_bytes()).unwrap();
+        assert_eq!(el.graph.edge_weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let el = read_edge_list_from("0 1\n1 0\n".as_bytes()).unwrap();
+        assert_eq!(el.graph.edge_count(), 1);
+        assert_eq!(el.graph.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (g, _) = parcom_generators::ring_of_cliques(3, 4);
+        let mut buf = Vec::new();
+        write_edge_list_to(&g, &mut buf).unwrap();
+        let el = read_edge_list_from(buf.as_slice()).unwrap();
+        assert_eq!(el.graph.node_count(), g.node_count());
+        assert_eq!(el.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_edge_list_from("0\n".as_bytes()).is_err());
+        assert!(read_edge_list_from("a b\n".as_bytes()).is_err());
+        assert!(read_edge_list_from("0 1 x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let el = read_edge_list_from("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(el.graph.node_count(), 0);
+    }
+}

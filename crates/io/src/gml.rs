@@ -1,0 +1,120 @@
+//! GML (Graph Modelling Language) export.
+//!
+//! GML is the interchange format of the visualization ecosystem the paper's
+//! qualitative analysis leans on (Fig. 11 was rendered with standard graph
+//! drawing tools); exporting a graph together with its community assignment
+//! lets any GML-aware tool color nodes by community.
+
+use crate::IoError;
+use parcom_graph::{Graph, Partition};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Writes `g` in GML, optionally annotating each node with its community.
+pub fn write_gml_to(
+    g: &Graph,
+    communities: Option<&Partition>,
+    writer: impl Write,
+) -> Result<(), IoError> {
+    if let Some(p) = communities {
+        assert_eq!(
+            p.len(),
+            g.node_count(),
+            "partition does not cover the graph"
+        );
+    }
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "graph [")?;
+    writeln!(w, "  directed 0")?;
+    for u in g.nodes() {
+        writeln!(w, "  node [")?;
+        writeln!(w, "    id {u}")?;
+        if let Some(p) = communities {
+            writeln!(w, "    community {}", p.subset_of(u))?;
+        }
+        writeln!(w, "  ]")?;
+    }
+    let mut result = Ok(());
+    g.for_edges(|u, v, wt| {
+        if result.is_err() {
+            return;
+        }
+        result = (|| -> std::io::Result<()> {
+            writeln!(w, "  edge [")?;
+            writeln!(w, "    source {u}")?;
+            writeln!(w, "    target {v}")?;
+            if wt != 1.0 {
+                writeln!(w, "    weight {wt}")?;
+            }
+            writeln!(w, "  ]")
+        })();
+    });
+    result?;
+    writeln!(w, "]")?;
+    Ok(())
+}
+
+/// Writes GML to a file path.
+pub fn write_gml(
+    g: &Graph,
+    communities: Option<&Partition>,
+    path: impl AsRef<Path>,
+) -> Result<(), IoError> {
+    write_gml_to(g, communities, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_graph::GraphBuilder;
+
+    fn render(g: &Graph, p: Option<&Partition>) -> String {
+        let mut buf = Vec::new();
+        write_gml_to(g, p, &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn emits_nodes_and_edges() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let gml = render(&g, None);
+        assert_eq!(gml.matches("node [").count(), 3);
+        assert_eq!(gml.matches("edge [").count(), 2);
+        assert!(gml.starts_with("graph ["));
+        assert!(gml.trim_end().ends_with(']'));
+        assert!(!gml.contains("community"));
+    }
+
+    #[test]
+    fn annotates_communities() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let p = Partition::from_vec(vec![4, 4]);
+        let gml = render(&g, Some(&p));
+        assert_eq!(gml.matches("community 4").count(), 2);
+    }
+
+    #[test]
+    fn weights_emitted_only_when_nontrivial() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 2.5);
+        let gml = render(&b.build(), None);
+        assert!(gml.contains("weight 2.5"));
+        let g2 = GraphBuilder::from_edges(2, &[(0, 1)]);
+        assert!(!render(&g2, None).contains("weight"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let gml = render(&g, None);
+        assert!(gml.contains("directed 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition does not cover")]
+    fn rejects_mismatched_partition() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let p = Partition::singleton(5);
+        render(&g, Some(&p));
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # parcom-io — graph and partition I/O
+//!
+//! The formats the paper's corpus ships in, plus the export format of the
+//! Fig. 11 visualization pipeline:
+//!
+//! * [`metis`] — the METIS/Chaco adjacency format used by the DIMACS
+//!   collection (reader and writer, weighted and unweighted).
+//! * [`edgelist`] — whitespace-separated edge lists (SNAP style), with
+//!   comment handling and automatic node-id compaction.
+//! * [`partition_io`] — one community id per line, aligned with node ids.
+//! * [`dot`] — Graphviz export of community graphs (node size proportional
+//!   to community size, like the paper's PGPgiantcompo drawings).
+//! * [`gml`] — GML export with per-node community annotations for external
+//!   visualization tools.
+
+pub mod dot;
+pub mod edgelist;
+pub mod gml;
+pub mod metis;
+pub mod partition_io;
+
+pub use dot::write_community_graph_dot;
+pub use edgelist::{read_edge_list, write_edge_list};
+pub use gml::{write_gml, write_gml_to};
+pub use metis::{read_metis, write_metis};
+pub use partition_io::{read_partition, write_partition};
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input violates the expected format.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+pub(crate) fn parse_error(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}

@@ -1,0 +1,242 @@
+//! METIS/Chaco graph format (the DIMACS collection's format).
+//!
+//! Header: `n m [fmt]` where `fmt` is `1` when edge weights are present.
+//! Line `i` (1-based) lists the neighbors of node `i`; with weights,
+//! neighbors alternate with their edge weight. Comment lines start with `%`.
+
+use crate::{parse_error, IoError};
+use parcom_graph::{Graph, GraphBuilder, Node};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a graph in METIS format from a reader.
+pub fn read_metis_from(reader: impl Read) -> Result<Graph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // header (skipping comments)
+    let (header_lineno, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, t.to_string());
+            }
+            None => return Err(parse_error(0, "missing header line")),
+        }
+    };
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 2 {
+        return Err(parse_error(header_lineno, "header needs `n m [fmt]`"));
+    }
+    let n: usize = fields[0]
+        .parse()
+        .map_err(|_| parse_error(header_lineno, "bad node count"))?;
+    let m: usize = fields[1]
+        .parse()
+        .map_err(|_| parse_error(header_lineno, "bad edge count"))?;
+    let fmt = fields.get(2).copied().unwrap_or("0");
+    let weighted = match fmt {
+        "0" | "00" => false,
+        "1" | "01" => true,
+        other => {
+            return Err(parse_error(
+                header_lineno,
+                format!("unsupported fmt field `{other}` (node weights not supported)"),
+            ))
+        }
+    };
+
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut node: usize = 0;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('%') {
+            continue;
+        }
+        if node >= n {
+            if t.is_empty() {
+                continue;
+            }
+            return Err(parse_error(lineno, "more adjacency lines than nodes"));
+        }
+        let u = node as Node;
+        let mut tokens = t.split_whitespace();
+        while let Some(tok) = tokens.next() {
+            let v: usize = tok
+                .parse()
+                .map_err(|_| parse_error(lineno, format!("bad neighbor id `{tok}`")))?;
+            if v < 1 || v > n {
+                return Err(parse_error(
+                    lineno,
+                    format!("neighbor id {v} out of range 1..={n}"),
+                ));
+            }
+            let v = (v - 1) as Node;
+            let w = if weighted {
+                let Some(wt) = tokens.next() else {
+                    return Err(parse_error(lineno, "missing edge weight"));
+                };
+                wt.parse::<f64>()
+                    .map_err(|_| parse_error(lineno, format!("bad edge weight `{wt}`")))?
+            } else {
+                1.0
+            };
+            // each undirected edge appears in both endpoint lines; keep one
+            if v >= u {
+                b.add_edge(u, v, w);
+            }
+        }
+        node += 1;
+    }
+    if node != n {
+        return Err(parse_error(
+            0,
+            format!("expected {n} adjacency lines, got {node}"),
+        ));
+    }
+    let g = b.build();
+    if g.edge_count() != m {
+        return Err(parse_error(
+            0,
+            format!("header claims {m} edges, file defines {}", g.edge_count()),
+        ));
+    }
+    Ok(g)
+}
+
+/// Reads a METIS graph from a file path.
+pub fn read_metis(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_metis_from(std::fs::File::open(path)?)
+}
+
+/// Writes a graph in METIS format to a writer. Weights are emitted unless
+/// every edge weight is exactly 1.
+pub fn write_metis_to(g: &Graph, writer: impl Write) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    let weighted = g.nodes().any(|u| g.edges_of(u).any(|(_, wt)| wt != 1.0));
+    writeln!(
+        w,
+        "{} {}{}",
+        g.node_count(),
+        g.edge_count(),
+        if weighted { " 1" } else { "" }
+    )?;
+    for u in g.nodes() {
+        let mut first = true;
+        for (v, wt) in g.edges_of(u) {
+            if !first {
+                write!(w, " ")?;
+            }
+            if weighted {
+                write!(w, "{} {}", v + 1, wt)?;
+            } else {
+                write!(w, "{}", v + 1)?;
+            }
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Writes a METIS graph to a file path.
+pub fn write_metis(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_metis_to(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_generators::ring_of_cliques;
+
+    #[test]
+    fn parses_simple_file() {
+        let input = "% a triangle plus pendant\n4 4\n2 3\n1 3\n1 2 4\n3\n";
+        let g = read_metis_from(input.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn parses_weighted_file() {
+        let input = "3 2 1\n2 5.5\n1 5.5 3 2\n2 2\n";
+        let g = read_metis_from(input.as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(5.5));
+        assert_eq!(g.edge_weight(1, 2), Some(2.0));
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let (g, _) = ring_of_cliques(4, 5);
+        let mut buf = Vec::new();
+        write_metis_to(&g, &mut buf).unwrap();
+        let g2 = read_metis_from(buf.as_slice()).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for u in g.nodes() {
+            assert_eq!(g.neighbors(u), g2.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut b = parcom_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 2.5);
+        b.add_edge(1, 2, 0.5);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_metis_to(&g, &mut buf).unwrap();
+        let g2 = read_metis_from(buf.as_slice()).unwrap();
+        assert_eq!(g2.edge_weight(0, 1), Some(2.5));
+        assert_eq!(g2.edge_weight(1, 2), Some(0.5));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_metis_from("5\n".as_bytes()).is_err());
+        assert!(read_metis_from("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        let err = read_metis_from("2 1\n3\n1\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        let err = read_metis_from("2 5\n2\n1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header claims"), "{err}");
+    }
+
+    #[test]
+    fn rejects_node_weight_formats() {
+        assert!(read_metis_from("2 1 11\n2\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_lines_are_isolated_nodes() {
+        let g = read_metis_from("3 1\n2\n1\n\n".as_bytes()).unwrap();
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("parcom_metis_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.metis");
+        let (g, _) = ring_of_cliques(3, 4);
+        write_metis(&g, &path).unwrap();
+        let g2 = read_metis(&path).unwrap();
+        assert_eq!(g.edge_count(), g2.edge_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,76 @@
+//! Partition files: one community id per line, line `i` holding ζ(i).
+//! This is the format used by the DIMACS clustering tools.
+
+use crate::{parse_error, IoError};
+use parcom_graph::Partition;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a partition from a reader.
+pub fn read_partition_from(reader: impl Read) -> Result<Partition, IoError> {
+    let reader = BufReader::new(reader);
+    let mut data = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let c: u32 = t
+            .parse()
+            .map_err(|_| parse_error(i + 1, format!("bad community id `{t}`")))?;
+        data.push(c);
+    }
+    Ok(Partition::from_vec(data))
+}
+
+/// Reads a partition from a file path.
+pub fn read_partition(path: impl AsRef<Path>) -> Result<Partition, IoError> {
+    read_partition_from(std::fs::File::open(path)?)
+}
+
+/// Writes a partition to a writer.
+pub fn write_partition_to(p: &Partition, writer: impl Write) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    for v in 0..p.len() as u32 {
+        writeln!(w, "{}", p.subset_of(v))?;
+    }
+    Ok(())
+}
+
+/// Writes a partition to a file path.
+pub fn write_partition(p: &Partition, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_partition_to(p, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Partition::from_vec(vec![0, 0, 2, 1, 2]);
+        let mut buf = Vec::new();
+        write_partition_to(&p, &mut buf).unwrap();
+        let q = read_partition_from(buf.as_slice()).unwrap();
+        assert_eq!(p.as_slice(), q.as_slice());
+    }
+
+    #[test]
+    fn skips_comments() {
+        let q = read_partition_from("# truth\n0\n1\n\n1\n".as_bytes()).unwrap();
+        assert_eq!(q.as_slice(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_partition_from("x\n".as_bytes()).is_err());
+        assert!(read_partition_from("-1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_empty_partition() {
+        let q = read_partition_from("".as_bytes()).unwrap();
+        assert_eq!(q.len(), 0);
+    }
+}

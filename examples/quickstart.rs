@@ -1,0 +1,34 @@
+//! Quickstart: build a graph, detect communities, inspect the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parcom::community::{quality::modularity, CommunityDetector, Plm};
+use parcom::graph::GraphBuilder;
+
+fn main() {
+    // Two obvious communities: a pair of triangles joined by one edge.
+    let mut builder = GraphBuilder::new(6);
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+        builder.add_unweighted_edge(u, v);
+    }
+    let graph = builder.build();
+
+    // PLM — the paper's recommended default algorithm.
+    let mut plm = Plm::new();
+    let communities = plm.detect(&graph);
+
+    println!(
+        "found {} communities, modularity {:.4}",
+        communities.number_of_subsets(),
+        modularity(&graph, &communities)
+    );
+    for (community, members) in communities.members().iter().enumerate() {
+        if !members.is_empty() {
+            println!("  community {community}: {members:?}");
+        }
+    }
+
+    assert_eq!(communities.number_of_subsets(), 2);
+    assert!(communities.in_same_subset(0, 2));
+    assert!(!communities.in_same_subset(2, 3));
+}

@@ -1,0 +1,89 @@
+//! Failure-injection tests: the readers must return errors — never panic,
+//! hang or produce inconsistent graphs — on arbitrary and adversarial
+//! input.
+
+use parcom::io::{edgelist, metis, partition_io};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn metis_reader_never_panics(input in ".{0,400}") {
+        let _ = metis::read_metis_from(input.as_bytes());
+    }
+
+    #[test]
+    fn metis_reader_never_panics_on_numeric_soup(
+        nums in proptest::collection::vec(0u32..2000, 0..120),
+        n in 0u32..50,
+        m in 0u32..100,
+    ) {
+        let mut input = format!("{n} {m}\n");
+        for chunk in nums.chunks(7) {
+            let line: Vec<String> = chunk.iter().map(u32::to_string).collect();
+            input.push_str(&line.join(" "));
+            input.push('\n');
+        }
+        if let Ok(g) = metis::read_metis_from(input.as_bytes()) {
+            prop_assert!(g.check_consistency());
+        }
+    }
+
+    #[test]
+    fn edge_list_reader_never_panics(input in ".{0,400}") {
+        if let Ok(el) = edgelist::read_edge_list_from(input.as_bytes()) {
+            prop_assert!(el.graph.check_consistency());
+        }
+    }
+
+    #[test]
+    fn edge_list_accepts_all_valid_pairs(
+        pairs in proptest::collection::vec((0u64..1000, 0u64..1000), 1..60)
+    ) {
+        let input: String = pairs
+            .iter()
+            .map(|(u, v)| format!("{u} {v}\n"))
+            .collect();
+        let el = edgelist::read_edge_list_from(input.as_bytes()).unwrap();
+        prop_assert!(el.graph.check_consistency());
+        prop_assert!(el.graph.node_count() <= 2 * pairs.len());
+    }
+
+    #[test]
+    fn partition_reader_never_panics(input in ".{0,400}") {
+        let _ = partition_io::read_partition_from(input.as_bytes());
+    }
+
+    #[test]
+    fn partition_roundtrip_arbitrary_ids(
+        ids in proptest::collection::vec(0u32..u32::MAX / 2, 0..200)
+    ) {
+        let p = parcom::graph::Partition::from_vec(ids);
+        let mut buf = Vec::new();
+        partition_io::write_partition_to(&p, &mut buf).unwrap();
+        let q = partition_io::read_partition_from(buf.as_slice()).unwrap();
+        prop_assert_eq!(p.as_slice(), q.as_slice());
+    }
+}
+
+#[test]
+fn metis_truncated_inputs_error_cleanly() {
+    for input in [
+        "3",             // header only, no counts
+        "3 2\n1",        // fewer lines than nodes... (line is node 1's adjacency)
+        "2 1 1\n2\n1\n", // weighted flag but missing weights
+        "1 0\n2\n",      // neighbor beyond n
+        "abc def\n",     // garbage header
+    ] {
+        let r = metis::read_metis_from(input.as_bytes());
+        assert!(r.is_err(), "input {input:?} should fail");
+    }
+}
+
+#[test]
+fn io_error_messages_carry_line_numbers() {
+    let err = metis::read_metis_from("2 1\nxyz\n1\n".as_bytes()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "unhelpful error: {msg}");
+}

@@ -1,0 +1,75 @@
+//! Real-data validation on the Zachary karate club: every algorithm should
+//! find community structure consistent with the historical two-faction
+//! split.
+
+use parcom::community::compare::{jaccard_index, rand_index};
+use parcom::community::{quality::modularity, CommunityDetector};
+use parcom::generators::karate_club;
+
+fn algorithms() -> Vec<Box<dyn CommunityDetector + Send>> {
+    use parcom::community::{Cggc, Cnm, Epp, Louvain, Pam, Plm, Plp, Rg};
+    vec![
+        Box::new(Plp::new()),
+        Box::new(Plm::new()),
+        Box::new(Plm::with_refinement()),
+        Box::new(Epp::plp_plm(4)),
+        Box::new(Louvain::new()),
+        Box::new(Cnm::new()),
+        Box::new(Rg::new()),
+        Box::new(Cggc::new(4)),
+        Box::new(Pam::new()),
+    ]
+}
+
+#[test]
+fn all_algorithms_find_structure_on_karate() {
+    let (g, _) = karate_club();
+    for mut algo in algorithms() {
+        let name = algo.name();
+        let zeta = algo.detect(&g);
+        let q = modularity(&g, &zeta);
+        assert!(
+            q > 0.2,
+            "{name}: modularity {q} too low on the karate club"
+        );
+        let k = zeta.number_of_subsets();
+        assert!(
+            (2..=12).contains(&k),
+            "{name}: implausible community count {k}"
+        );
+    }
+}
+
+#[test]
+fn louvain_family_reaches_known_optimum_range() {
+    // the known modularity optimum for the karate club is ~0.4198
+    let (g, _) = karate_club();
+    for mut algo in [
+        Box::new(parcom::community::Plm::new()) as Box<dyn CommunityDetector + Send>,
+        Box::new(parcom::community::Plm::with_refinement()),
+        Box::new(parcom::community::Louvain::new()),
+    ] {
+        let q = modularity(&g, &algo.detect(&g));
+        assert!(
+            q > 0.35,
+            "{}: karate modularity {q} below the Louvain-typical range",
+            algo.name()
+        );
+        assert!(q <= 0.4198 + 1e-9, "{}: above the known optimum?!", algo.name());
+    }
+}
+
+#[test]
+fn detected_communities_align_with_factions() {
+    let (g, factions) = karate_club();
+    let zeta = parcom::community::Plm::new().detect(&g);
+    // modularity optima split the factions further, so require agreement
+    // well above chance rather than identity
+    let rand = rand_index(&zeta, &factions);
+    assert!(
+        rand > 0.6,
+        "PLM communities should align with the factions (rand {rand})"
+    );
+    let j = jaccard_index(&zeta, &factions);
+    assert!(j > 0.25, "jaccard vs factions too low: {j}");
+}

@@ -1,0 +1,124 @@
+//! Shape assertions distilled from the paper's evaluation claims — the
+//! qualitative relationships every healthy build must reproduce (small
+//! instances; the full-size versions live in the bench targets).
+
+use parcom::community::compare::jaccard_index;
+use parcom::community::{quality::modularity, CommunityDetector, Epp, Plm, Plp};
+use parcom::generators::{lfr, LfrParams};
+use std::time::Instant;
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+#[test]
+fn plp_is_much_faster_than_plm() {
+    // §V-B: "PLP can solve instances in only 10-20 percent of the time
+    // required by PLM" — allow slack on small inputs
+    let (g, _) = lfr(LfrParams::benchmark(20_000, 0.3), 41);
+    // warm up allocators
+    Plp::new().detect(&g);
+    let (_, t_plp) = timed(|| Plp::new().detect(&g));
+    let (_, t_plm) = timed(|| Plm::new().detect(&g));
+    assert!(
+        t_plp < 0.6 * t_plm,
+        "PLP ({t_plp:.3}s) should be clearly faster than PLM ({t_plm:.3}s)"
+    );
+}
+
+#[test]
+fn plm_recovers_ground_truth_under_strong_noise() {
+    // Fig. 8: PLM detects the ground truth even at high mixing
+    let (g, truth) = lfr(LfrParams::benchmark(3_000, 0.6), 42);
+    let zeta = Plm::new().detect(&g);
+    let j = jaccard_index(&zeta, &truth);
+    assert!(
+        j > 0.5,
+        "PLM lost the planted structure at mu=0.6: jaccard {j}"
+    );
+}
+
+#[test]
+fn plp_degrades_before_plm_as_noise_grows() {
+    // Fig. 8 shape: PLP is less robust than PLM at high mu
+    let (g, truth) = lfr(LfrParams::benchmark(3_000, 0.7), 43);
+    let j_plm = jaccard_index(&Plm::new().detect(&g), &truth);
+    let j_plp = jaccard_index(&Plp::new().detect(&g), &truth);
+    assert!(
+        j_plm >= j_plp - 0.05,
+        "expected PLM ({j_plm}) at least as robust as PLP ({j_plp}) at mu=0.7"
+    );
+}
+
+#[test]
+fn refinement_improves_or_preserves_modularity() {
+    // §V-C: "adding a refinement phase generally leads to an improvement"
+    let mut wins = 0;
+    let mut total = 0;
+    for seed in [1u64, 2, 3] {
+        let (g, _) = lfr(LfrParams::benchmark(2_000, 0.5), 44 + seed);
+        let q_plm = modularity(&g, &Plm::new().detect(&g));
+        let q_plmr = modularity(&g, &Plm::with_refinement().detect(&g));
+        assert!(
+            q_plmr >= q_plm - 0.01,
+            "seed {seed}: PLMR ({q_plmr}) clearly below PLM ({q_plm})"
+        );
+        total += 1;
+        if q_plmr >= q_plm {
+            wins += 1;
+        }
+    }
+    assert!(wins * 2 >= total, "refinement failed to help in most runs");
+}
+
+#[test]
+fn epp_improves_on_single_plp_with_noise() {
+    // Fig. 4: "EPP pays off in the form of improved modularity on most
+    // instances" (vs a single PLP)
+    let mut improvements = 0;
+    for seed in [1u64, 2, 3] {
+        let (g, _) = lfr(LfrParams::benchmark(2_000, 0.55), 50 + seed);
+        let q_plp = modularity(&g, &Plp::with_seed(seed).detect(&g));
+        let q_epp = modularity(&g, &Epp::plp_plm(4).detect(&g));
+        if q_epp > q_plp {
+            improvements += 1;
+        }
+    }
+    assert!(
+        improvements >= 2,
+        "EPP should beat a single PLP on most noisy instances ({improvements}/3)"
+    );
+}
+
+#[test]
+fn quality_ordering_plp_epp_plm() {
+    // Fig. 6 shape: modularity(PLP) <= modularity(EPP) ~ modularity(PLM)
+    let (g, _) = lfr(LfrParams::benchmark(4_000, 0.5), 60);
+    let q_plp = modularity(&g, &Plp::new().detect(&g));
+    let q_epp = modularity(&g, &Epp::plp_plm(4).detect(&g));
+    let q_plm = modularity(&g, &Plm::new().detect(&g));
+    assert!(q_plp <= q_epp + 0.02, "PLP {q_plp} vs EPP {q_epp}");
+    assert!(q_epp <= q_plm + 0.03, "EPP {q_epp} vs PLM {q_plm}");
+}
+
+#[test]
+fn plp_threshold_cuts_iterations_without_quality_loss() {
+    // §III-A: θ = n·1e-5 versus exact convergence
+    let (g, _) = lfr(LfrParams::benchmark(5_000, 0.4), 61);
+    let mut exact = Plp {
+        theta_fraction: 0.0,
+        ..Plp::default()
+    };
+    let q_exact = modularity(&g, &exact.detect(&g));
+    let iters_exact = exact.last_stats.iterations();
+    let mut thresh = Plp::new();
+    let q_thresh = modularity(&g, &thresh.detect(&g));
+    let iters_thresh = thresh.last_stats.iterations();
+    assert!(iters_thresh <= iters_exact);
+    assert!(
+        q_thresh > q_exact - 0.03,
+        "threshold cost too much quality: {q_thresh} vs {q_exact}"
+    );
+}
