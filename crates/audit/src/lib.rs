@@ -1,0 +1,550 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # parcom-audit — concurrency-discipline lint for the parcom workspace
+//!
+//! A dependency-free, source-level lint pass enforcing the workspace's
+//! concurrency and robustness rules. It is deliberately a *textual* audit,
+//! not a compiler plugin: the rules it checks are discipline rules about
+//! where certain constructs may appear at all, which line/token scanning
+//! decides reliably once comments and string literals are stripped.
+//!
+//! ## Rules
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `atomic-ordering` | atomic `Ordering::*` variants only in allowlisted modules |
+//! | `static-mut` | no `static mut` anywhere |
+//! | `unsafe-code` | no `unsafe` outside the (currently empty) allowlist |
+//! | `partial-cmp-unwrap` | no `partial_cmp(..).unwrap()/expect(..)` comparators — use `total_cmp` |
+//! | `lossy-cast` | no truncating `as u32`/`as Node` casts of counts outside annotated sites |
+//! | `io-unwrap` | no `unwrap()`/`expect(..)` in `crates/io` parsing paths |
+//!
+//! Any line (or its immediate predecessor) may carry
+//! `// audit:allow(<rule>)` to suppress a diagnostic at a site that has
+//! been reviewed; the marker doubles as in-tree documentation that the
+//! site is deliberate.
+
+use std::fmt;
+use std::path::Path;
+
+/// The lint rules the audit enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Atomic memory-`Ordering` variants outside allowlisted modules.
+    /// Concentrating every `Relaxed`/`Acquire`/… decision in a handful of
+    /// reviewed files is what keeps the paper's "benign race" arguments
+    /// auditable.
+    AtomicOrdering,
+    /// `static mut` is never acceptable: it is unsynchronized shared
+    /// mutable state with no owner.
+    StaticMut,
+    /// `unsafe` code outside the allowlist (currently empty — the whole
+    /// workspace builds with `#![forbid(unsafe_code)]`).
+    UnsafeCode,
+    /// `partial_cmp(..).unwrap()` (or `.expect(..)`) in comparator
+    /// position: panics on NaN mid-sort; `f64::total_cmp` is the total
+    /// order that cannot fail.
+    PartialCmpUnwrap,
+    /// Truncating casts of node/edge counts (`.len() as u32`,
+    /// `node_count() as u32`, …) outside annotated sites. A graph with
+    /// more than `u32::MAX` nodes silently wraps ids.
+    LossyCast,
+    /// `unwrap()`/`expect(..)` in `crates/io` non-test code: readers parse
+    /// untrusted input and must return `IoError`, never panic.
+    IoUnwrap,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::AtomicOrdering,
+        Rule::StaticMut,
+        Rule::UnsafeCode,
+        Rule::PartialCmpUnwrap,
+        Rule::LossyCast,
+        Rule::IoUnwrap,
+    ];
+
+    /// The kebab-case name used in diagnostics and `audit:allow(..)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::StaticMut => "static-mut",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::PartialCmpUnwrap => "partial-cmp-unwrap",
+            Rule::LossyCast => "lossy-cast",
+            Rule::IoUnwrap => "io-unwrap",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a rule fired at a `file:line` site.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Path of the offending file (as passed to the scanner).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Files in which atomic `Ordering::*` variants are permitted. Every entry
+/// is a workspace-relative path suffix; the set is the reviewed core of the
+/// shared-memory design (the atomics themselves plus the two algorithms
+/// whose benign-race protocols the paper describes) and the stress tests
+/// that exercise those protocols.
+pub const ORDERING_ALLOWED: &[&str] = &[
+    "crates/graph/src/atomicf64.rs",
+    "crates/graph/src/partition.rs",
+    "crates/graph/src/coarsening.rs",
+    "crates/graph/tests/stress_interleaving.rs",
+    "crates/core/src/plp.rs",
+    "crates/core/src/plm.rs",
+];
+
+/// Files in which `unsafe` is permitted. Deliberately empty: the workspace
+/// carries `#![forbid(unsafe_code)]` in every crate root, and this lint
+/// keeps the list of exceptions (none) in one reviewable place.
+pub const UNSAFE_ALLOWED: &[&str] = &[];
+
+/// Truncating cast patterns the `lossy-cast` rule searches for (matched
+/// against comment- and string-stripped code).
+const LOSSY_CAST_PATTERNS: &[&str] = &[
+    ".len() as u32",
+    ".len() as Node",
+    ".count() as u32",
+    ".count() as Node",
+    "node_count() as u32",
+    "node_count() as Node",
+    "edge_count() as u32",
+    "edge_count() as Node",
+];
+
+/// A source file split into per-line *code* text (comments, string and
+/// char literal contents blanked out) and per-line *comment* text (used to
+/// find `audit:allow` markers).
+struct StrippedSource {
+    code: Vec<String>,
+    comments: Vec<String>,
+}
+
+/// Strips comments and literal contents from Rust source, line by line.
+///
+/// This is a lexer for exactly the token forms that can hide or fake a
+/// lint pattern: line comments, (nested) block comments, string literals
+/// with escapes, raw strings `r#".."#`, byte strings, char literals, and
+/// lifetimes (so `'a` is not mistaken for an unterminated char literal).
+fn strip(source: &str) -> StrippedSource {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Block(u32),  // nested block comment depth
+        Str,         // "..."
+        RawStr(u32), // r##"..."## with hash count
+        Char,        // '...'
+    }
+    let mut state = State::Code;
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment ends at the newline; everything else carries on.
+            code.push(String::new());
+            comments.push(String::new());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // line comment: consume to end of line into comment text
+                    let mut j = i;
+                    while j < chars.len() && chars[j] != '\n' {
+                        comments.last_mut().unwrap().push(chars[j]);
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    code.last_mut().unwrap().push('"');
+                    state = State::Str;
+                } else if c == 'r' || c == 'b' {
+                    // possible raw/byte string start: r", r#", br", b"
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_ident_char =
+                        i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+                    if !is_ident_char && chars.get(j) == Some(&'"') && (c == 'r' || hashes == 0) {
+                        if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                            // b"..." — plain byte string
+                            code.last_mut().unwrap().push('"');
+                            state = State::Str;
+                            i += 2;
+                            continue;
+                        } else if chars.get(i + 1) == Some(&'r') || c == 'r' {
+                            code.last_mut().unwrap().push('"');
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    code.last_mut().unwrap().push(c);
+                } else if c == '\'' {
+                    // char literal or lifetime
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let is_char = n1 == Some('\\') || (n1.is_some() && n2 == Some('\''));
+                    if is_char {
+                        code.last_mut().unwrap().push('\'');
+                        state = State::Char;
+                    } else {
+                        code.last_mut().unwrap().push('\'');
+                    }
+                } else {
+                    code.last_mut().unwrap().push(c);
+                }
+            }
+            State::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                    continue;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                comments.last_mut().unwrap().push(c);
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    code.last_mut().unwrap().push('"');
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code.last_mut().unwrap().push('"');
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                } else if c == '\'' {
+                    code.last_mut().unwrap().push('\'');
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    StrippedSource { code, comments }
+}
+
+/// True when `token` occurs in `line` as a standalone word (not part of a
+/// longer identifier such as `unsafe_code`).
+fn contains_word(line: &str, token: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
+        let end = at + token.len();
+        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when a path (normalized to `/` separators) ends in one of the
+/// allowlisted suffixes.
+fn path_allowed(path: &str, allowlist: &[&str]) -> bool {
+    let normalized = path.replace('\\', "/");
+    allowlist.iter().any(|suffix| normalized.ends_with(suffix))
+}
+
+/// True when line `idx` carries an `audit:allow(<rule>)` marker for
+/// `rule`, either trailing the line itself or on a comment-only line
+/// immediately above it (a marker trailing *code* does not leak to the
+/// next line).
+fn allowed_here(stripped: &StrippedSource, idx: usize, rule: Rule) -> bool {
+    let marker = format!("audit:allow({})", rule.name());
+    if stripped.comments[idx].contains(&marker) {
+        return true;
+    }
+    idx > 0
+        && stripped.comments[idx - 1].contains(&marker)
+        && stripped.code[idx - 1].trim().is_empty()
+}
+
+/// Atomic `Ordering` variant tokens (the `cmp::Ordering` variants `Less`,
+/// `Equal`, `Greater` are deliberately not matched).
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Scans one file's source text. `path` selects path-dependent rules (the
+/// `Ordering` allowlist, `crates/io` for `io-unwrap`) and is echoed into
+/// diagnostics; the file is not re-read from disk.
+pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
+    let stripped = strip(source);
+    let source_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    let normalized = path.replace('\\', "/");
+    let in_io_crate = normalized.contains("crates/io/");
+
+    let report = |idx: usize, rule: Rule, out: &mut Vec<Violation>| {
+        if !allowed_here(&stripped, idx, rule) {
+            out.push(Violation {
+                file: path.to_string(),
+                line: idx + 1,
+                rule,
+                excerpt: source_lines
+                    .get(idx)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+            });
+        }
+    };
+
+    // `#[cfg(test)]`-module tracking for io-unwrap: once the attribute is
+    // seen, the brace block it introduces is test code.
+    let mut depth: i64 = 0;
+    let mut test_pending = false;
+    let mut test_depths: Vec<i64> = Vec::new();
+
+    for (idx, code) in stripped.code.iter().enumerate() {
+        let in_test_module = !test_depths.is_empty();
+
+        if !path_allowed(&normalized, ORDERING_ALLOWED) {
+            for variant in ATOMIC_ORDERINGS {
+                if code.contains(variant) {
+                    report(idx, Rule::AtomicOrdering, &mut out);
+                    break;
+                }
+            }
+        }
+
+        if code.contains("static mut") && contains_word(code, "static") {
+            report(idx, Rule::StaticMut, &mut out);
+        }
+
+        if contains_word(code, "unsafe") && !path_allowed(&normalized, UNSAFE_ALLOWED) {
+            report(idx, Rule::UnsafeCode, &mut out);
+        }
+
+        if let Some(pos) = code.find(".partial_cmp(") {
+            // comparator misuse: an unwrap/expect on the same statement —
+            // look from the call to the end of the statement (up to 4 lines)
+            let mut window = code[pos..].to_string();
+            let mut j = idx;
+            while !window.contains(';') && j + 1 < stripped.code.len() && j < idx + 3 {
+                j += 1;
+                window.push_str(&stripped.code[j]);
+            }
+            let stmt = window.split(';').next().unwrap_or("");
+            if stmt.contains(".unwrap()") || stmt.contains(".expect(") {
+                report(idx, Rule::PartialCmpUnwrap, &mut out);
+            }
+        }
+
+        for pattern in LOSSY_CAST_PATTERNS {
+            if code.contains(pattern) {
+                report(idx, Rule::LossyCast, &mut out);
+                break;
+            }
+        }
+
+        if in_io_crate
+            && !in_test_module
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+        {
+            report(idx, Rule::IoUnwrap, &mut out);
+        }
+
+        // brace bookkeeping (after rule checks: the attribute line itself
+        // and the `mod tests {` opener belong to the test region already,
+        // but contain no unwraps in practice)
+        if code.contains("#[cfg(test)]") {
+            test_pending = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if test_pending {
+                        test_depths.push(depth);
+                        test_pending = false;
+                    }
+                }
+                '}' => {
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Directories never scanned: build output, VCS metadata, and the lint's
+/// own intentionally-violating fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Recursively scans every `.rs` file under `root`, returning all
+/// violations sorted by path and line.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(&file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .into_owned();
+        out.extend(scan_source(&rel, &source));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_blanks_strings_and_comments() {
+        let s = strip("let x = \"static mut\"; // static mut here\n/* unsafe */ let y = 1;\n");
+        assert!(!s.code[0].contains("static"));
+        assert!(s.comments[0].contains("static mut"));
+        assert!(!s.code[1].contains("unsafe"));
+        assert!(s.code[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn strip_handles_lifetimes_and_chars() {
+        let s = strip("fn f<'a>(q: &'a str) -> char { 'x' }\n");
+        assert!(s.code[0].contains("fn f<'a>(q: &'a str)"));
+        // the char literal's content is blanked
+        assert!(s.code[0].contains("{ '' }"), "{:?}", s.code[0]);
+    }
+
+    #[test]
+    fn strip_handles_raw_strings() {
+        let s = strip("let p = r#\"unsafe { }\"#; let q = 2;\n");
+        assert!(!s.code[0].contains("unsafe"));
+        assert!(s.code[0].contains("let q = 2;"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("#![forbid(unsafe_code)]", "unsafe"));
+        assert!(!contains_word("an_unsafe_name", "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip("/* outer /* inner */ still comment */ let a = 1;\n");
+        assert!(s.code[0].contains("let a = 1;"));
+        assert!(!s.code[0].contains("still"));
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_and_previous_line() {
+        let src = "// audit:allow(static-mut)\nstatic mut A: u32 = 0;\nstatic mut B: u32 = 0; // audit:allow(static-mut)\nstatic mut C: u32 = 0;\n";
+        let v = scan_source("x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+}

@@ -1,0 +1,73 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `parcom-audit` — run the workspace concurrency-discipline lint.
+//!
+//! Usage: `cargo run -p parcom-audit [root]`. Without an argument the
+//! workspace root is located by walking up from the current directory to
+//! the first `Cargo.toml` declaring `[workspace]`. Exits nonzero when any
+//! rule fires; diagnostics are `file:line: [rule] offending-line`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!("parcom-audit: no workspace root found above the current directory");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let violations = match parcom_audit::scan_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("parcom-audit: scanning {} failed: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if violations.is_empty() {
+        println!("parcom-audit: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    let mut by_rule: Vec<(parcom_audit::Rule, usize)> = Vec::new();
+    for rule in parcom_audit::Rule::ALL {
+        let count = violations.iter().filter(|v| v.rule == rule).count();
+        if count > 0 {
+            by_rule.push((rule, count));
+        }
+    }
+    let summary: Vec<String> = by_rule
+        .iter()
+        .map(|(rule, count)| format!("{count} {rule}"))
+        .collect();
+    eprintln!(
+        "parcom-audit: {} violation(s): {}",
+        violations.len(),
+        summary.join(", ")
+    );
+    ExitCode::FAILURE
+}

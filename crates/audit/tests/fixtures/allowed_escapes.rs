@@ -1,0 +1,15 @@
+// Fixture: every violation is suppressed by an audit:allow marker, so the
+// scanner must return nothing. Never compiled.
+
+fn ids(labels: &[u64]) -> u32 {
+    // the id space is checked against u32::MAX at construction
+    labels.len() as u32 // audit:allow(lossy-cast)
+}
+
+// audit:allow(static-mut)
+static mut LEGACY: u64 = 0;
+
+fn sort_floats(xs: &mut [f64]) {
+    // audit:allow(partial-cmp-unwrap)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

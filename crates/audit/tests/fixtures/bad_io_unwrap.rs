@@ -1,0 +1,18 @@
+// Fixture: unwrap in parsing code. The test scans this with a synthetic
+// crates/io/ path, where the rule applies. Never compiled.
+
+fn parse_header(line: &str) -> (usize, usize) {
+    let mut it = line.split_whitespace();
+    let n: usize = it.next().unwrap().parse().unwrap();
+    let m: usize = it.next().expect("missing edge count").parse().unwrap();
+    (n, m)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: truncating casts of counts. Never compiled.
+
+fn ids(labels: &[u64]) -> u32 {
+    labels.len() as u32
+}
+
+fn node_ids(g: &Graph) -> u32 {
+    g.node_count() as u32
+}
+
+fn edge_ids(g: &Graph) -> u32 {
+    g.edge_count() as u32
+}
+
+fn fine(labels: &[u64]) -> u64 {
+    labels.len() as u64 // widening: not flagged
+}

@@ -1,0 +1,19 @@
+// Fixture: atomic Ordering variants used outside an allowlisted module.
+// This file is never compiled; the audit tests feed it to the scanner.
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn sneaky_relaxed(counter: &AtomicU32) -> u32 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn sneaky_seqcst(counter: &AtomicU32) -> u32 {
+    counter.load(Ordering::SeqCst)
+}
+
+fn fine_cmp(a: u32, b: u32) -> std::cmp::Ordering {
+    // cmp::Ordering variants must NOT trip the rule
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => std::cmp::Ordering::Less,
+        other => other,
+    }
+}

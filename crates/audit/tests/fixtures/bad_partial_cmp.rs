@@ -1,0 +1,20 @@
+// Fixture: partial_cmp().unwrap() comparators. Never compiled.
+
+fn sort_floats(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn sort_floats_multiline(xs: &mut [f64]) {
+    xs.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("NaN")
+    });
+}
+
+fn fine(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn also_fine(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

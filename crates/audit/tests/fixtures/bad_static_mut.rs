@@ -1,0 +1,8 @@
+// Fixture: static mut global state. Never compiled.
+static mut GLOBAL_COUNTER: u64 = 0;
+
+static FINE: u64 = 0; // plain statics are fine
+
+fn touch() -> u64 {
+    FINE
+}

@@ -1,0 +1,10 @@
+#![allow(dead_code)]
+// Fixture: unsafe block outside the allowlist. Never compiled.
+
+fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}
+
+// The string "unsafe" and the ident unsafe_code must not trip the rule:
+const MSG: &str = "unsafe";
+fn unsafe_code_mention() {}

@@ -1,0 +1,93 @@
+//! One test per lint rule: each committed fixture must trip exactly its
+//! rule, the escape-hatch fixture must scan clean, and the workspace
+//! itself must be violation-free.
+
+use parcom_audit::{scan_source, scan_workspace, Rule};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+/// Scans a fixture under a synthetic workspace-relative path and returns
+/// the rules that fired (with multiplicity).
+fn rules_fired(path: &str, source: &str) -> Vec<Rule> {
+    scan_source(path, source)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+#[test]
+fn detects_atomic_ordering_outside_allowlist() {
+    let fired = rules_fired("crates/core/src/sneaky.rs", &fixture("bad_ordering.rs"));
+    assert_eq!(fired, vec![Rule::AtomicOrdering; 2], "{fired:?}");
+}
+
+#[test]
+fn permits_atomic_ordering_in_allowlisted_module() {
+    let fired = rules_fired("crates/graph/src/atomicf64.rs", &fixture("bad_ordering.rs"));
+    assert!(fired.is_empty(), "{fired:?}");
+}
+
+#[test]
+fn detects_static_mut() {
+    let fired = rules_fired("crates/core/src/sneaky.rs", &fixture("bad_static_mut.rs"));
+    assert_eq!(fired, vec![Rule::StaticMut], "{fired:?}");
+}
+
+#[test]
+fn detects_unsafe_code() {
+    let fired = rules_fired("crates/graph/src/sneaky.rs", &fixture("bad_unsafe.rs"));
+    assert_eq!(fired, vec![Rule::UnsafeCode], "{fired:?}");
+}
+
+#[test]
+fn detects_partial_cmp_unwrap_comparators() {
+    let fired = rules_fired("crates/core/src/sneaky.rs", &fixture("bad_partial_cmp.rs"));
+    // one single-line unwrap, one multi-line expect
+    assert_eq!(fired, vec![Rule::PartialCmpUnwrap; 2], "{fired:?}");
+}
+
+#[test]
+fn detects_lossy_casts() {
+    let fired = rules_fired("crates/graph/src/sneaky.rs", &fixture("bad_lossy_cast.rs"));
+    assert_eq!(fired, vec![Rule::LossyCast; 3], "{fired:?}");
+}
+
+#[test]
+fn detects_io_unwrap_outside_tests() {
+    let fired = rules_fired("crates/io/src/sneaky.rs", &fixture("bad_io_unwrap.rs"));
+    // line with two unwraps counts once; expect+unwrap line counts once
+    assert_eq!(fired, vec![Rule::IoUnwrap; 2], "{fired:?}");
+}
+
+#[test]
+fn io_unwrap_rule_only_applies_to_io_crate() {
+    let fired = rules_fired("crates/core/src/sneaky.rs", &fixture("bad_io_unwrap.rs"));
+    assert!(fired.is_empty(), "{fired:?}");
+}
+
+#[test]
+fn audit_allow_markers_suppress_diagnostics() {
+    let fired = rules_fired("crates/core/src/sneaky.rs", &fixture("allowed_escapes.rs"));
+    assert!(fired.is_empty(), "{fired:?}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = scan_workspace(&root).expect("workspace scan");
+    assert!(
+        violations.is_empty(),
+        "workspace has audit violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -48,8 +48,7 @@ fn main() {
     rows.sort_by(|a, b| {
         a[1].parse::<f64>()
             .unwrap()
-            .partial_cmp(&b[1].parse::<f64>().unwrap())
-            .unwrap()
+            .total_cmp(&b[1].parse::<f64>().unwrap())
     });
     print_table(
         "Fig. 5: Pareto evaluation (scores relative to PLM baseline)",

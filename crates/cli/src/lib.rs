@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Library surface of the `parcom` CLI (exposed for integration testing;

@@ -153,7 +153,7 @@ impl PartialOrd for OrderedDelta {
 
 impl Ord for OrderedDelta {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN delta")
+        self.0.total_cmp(&other.0)
     }
 }
 

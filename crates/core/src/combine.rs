@@ -35,7 +35,7 @@ pub fn core_communities(solutions: &[Partition]) -> Partition {
     let mut remap: FxHashMap<u64, u32> = FxHashMap::default();
     let mut data = Vec::with_capacity(n);
     for h in hashes {
-        let next = remap.len() as u32;
+        let next = remap.len() as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
         data.push(*remap.entry(h).or_insert(next));
     }
     Partition::from_vec(data)
@@ -50,7 +50,7 @@ pub fn core_communities_exact(solutions: &[Partition]) -> Partition {
     let mut data = Vec::with_capacity(n);
     for v in 0..n {
         let tuple: Vec<u32> = solutions.iter().map(|s| s.subset_of(v as u32)).collect();
-        let next = remap.len() as u32;
+        let next = remap.len() as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
         data.push(*remap.entry(tuple).or_insert(next));
     }
     Partition::from_vec(data)

@@ -48,6 +48,7 @@ pub fn pair_counts(a: &Partition, b: &Partition) -> PairCounts {
         same_both += choose2((j - i) as u64);
         i = j;
     }
+    // audit:allow(lossy-cast): bounded by the u32 node id space
     for v in 0..a.len() as u32 {
         *a_sizes.entry(a.subset_of(v)).or_insert(0) += 1;
         *b_sizes.entry(b.subset_of(v)).or_insert(0) += 1;

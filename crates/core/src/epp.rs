@@ -106,6 +106,25 @@ impl CommunityDetector for Epp {
         // 4. prolong back to the input graph
         let mut zeta = contraction.prolong(&coarse_solution);
         zeta.compact();
+        // Postcondition: the prolonged consensus must cover the input graph
+        // with a dense assignment, and every base stayed within the core —
+        // i.e. the final solution cannot split a core community.
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        {
+            if zeta.len() != g.node_count() {
+                panic!(
+                    "EPP postcondition violated: partition covers {} of {} nodes",
+                    zeta.len(),
+                    g.node_count()
+                );
+            }
+            if let Err(e) = zeta.validate_dense() {
+                panic!("EPP postcondition violated: {e}");
+            }
+            if !core.is_refinement_of(&zeta) {
+                panic!("EPP postcondition violated: final solution splits a core community");
+            }
+        }
         zeta
     }
 }

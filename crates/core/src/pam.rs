@@ -124,6 +124,7 @@ impl CommunityDetector for Pam {
             const UNMATCHED: u32 = u32::MAX;
             let mut group = vec![UNMATCHED; current.node_count()];
             let mut merged_any = false;
+            // audit:allow(lossy-cast): bounded by the u32 node id space
             for u in 0..current.node_count() as u32 {
                 if group[u as usize] != UNMATCHED {
                     continue;

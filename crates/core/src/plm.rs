@@ -138,6 +138,22 @@ impl CommunityDetector for Plm {
         let mut zeta = self.run_recursive(g, 0, &mut stats);
         self.last_stats = stats;
         zeta.compact();
+        // Postcondition for PLM and PLMR alike: a dense assignment
+        // covering exactly the input nodes (coarsening inside
+        // run_recursive is cross-checked by coarsen() itself).
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        {
+            if zeta.len() != g.node_count() {
+                panic!(
+                    "PLM postcondition violated: partition covers {} of {} nodes",
+                    zeta.len(),
+                    g.node_count()
+                );
+            }
+            if let Err(e) = zeta.validate_dense() {
+                panic!("PLM postcondition violated: {e}");
+            }
+        }
         zeta
     }
 }

@@ -157,8 +157,17 @@ impl Plp {
             }
         }
 
+        // The paper's default relies on *implicit* randomization through
+        // asynchronous parallel updates (§III-A). That source vanishes when
+        // only one worker thread exists or the graph is so small that each
+        // thread processes a single contiguous chunk in node order — label
+        // flooding across community bridges then becomes deterministic. In
+        // that regime, fall back to the explicit shuffle.
+        let threads = rayon::current_num_threads();
+        let shuffle = self.explicit_randomization || threads <= 1 || n < 64 * threads;
+
         for _iter in 0..self.max_iterations {
-            if self.explicit_randomization {
+            if shuffle {
                 order.shuffle(&mut rng);
             }
             let active_count = active
@@ -225,8 +234,25 @@ impl Plp {
         }
 
         self.last_stats = stats;
+        // Postcondition on the racy label array itself: labels are node
+        // ids (or initial-assignment ids), so every concurrently-written
+        // value must stay below the id upper bound.
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        {
+            let upper = match initial {
+                Some(p) => p.upper_bound().max(n as u32),
+                None => n as u32,
+            };
+            if let Err(e) = labels.validate(upper.max(1)) {
+                panic!("PLP postcondition violated: {e}");
+            }
+        }
         let mut result = labels.to_partition();
         result.compact();
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        if let Err(e) = result.validate_dense() {
+            panic!("PLP postcondition violated: {e}");
+        }
         result
     }
 }

@@ -103,7 +103,7 @@ impl CommunityDetector for Rg {
                     }
                 }
             }
-            let Some((delta, a, b)) = best else {
+            let Some((mut delta, mut a, mut b)) = best else {
                 // sampled communities had no neighbors (isolated); if any
                 // community still has neighbors, keep going, else stop
                 let has_candidates = live
@@ -114,6 +114,27 @@ impl CommunityDetector for Rg {
                 }
                 continue;
             };
+            // When every merge available to the sampled communities lowers
+            // modularity (they are already "complete"), executing one while
+            // improving merges still exist elsewhere buries the optimum in
+            // the middle of the dendrogram: the later improvements can lift
+            // the tracked maximum past the pre-merge level, so the returned
+            // best cut contains the bad merge. Fall back to a full greedy
+            // scan in that case. The scan only triggers in the endgame
+            // (or on unlucky samples), when few communities remain.
+            if delta <= 0.0 {
+                for &c in live.iter() {
+                    if !state.active[c as usize] {
+                        continue;
+                    }
+                    for (&other, _) in state.between[c as usize].iter() {
+                        let d = state.delta(c, other);
+                        if d > delta {
+                            (delta, a, b) = (d, c, other);
+                        }
+                    }
+                }
+            }
             let survivor = state.merge(a, b);
             merge_log.push((a, b));
             q += delta;

@@ -104,10 +104,48 @@ pub fn coarsen(g: &Graph, zeta: &Partition) -> Coarsening {
         b.add_edge(cu, cv, acc);
     }
 
-    Coarsening {
+    let result = Coarsening {
         coarse: b.build(),
         fine_to_coarse,
+    };
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    if let Err(e) = validate_coarsening(g, &result) {
+        panic!("coarsen() postcondition violated: {e}");
     }
+    result
+}
+
+/// Cross-checks a contraction against its fine graph: the mapping covers
+/// every fine node with in-range coarse ids, and contraction conserved the
+/// total edge weight (inter-community weight moved onto coarse edges,
+/// intra-community weight onto self-loops — nothing lost, nothing double
+/// counted). Compiled in debug builds or with the `validate` feature.
+#[cfg(any(debug_assertions, feature = "validate"))]
+pub fn validate_coarsening(fine: &Graph, c: &Coarsening) -> Result<(), String> {
+    if c.fine_to_coarse.len() != fine.node_count() {
+        return Err(format!(
+            "fine-to-coarse mapping covers {} nodes, fine graph has {}",
+            c.fine_to_coarse.len(),
+            fine.node_count()
+        ));
+    }
+    let k = c.coarse.node_count();
+    for (v, &cv) in c.fine_to_coarse.iter().enumerate() {
+        if cv as usize >= k {
+            return Err(format!(
+                "fine node {v} maps to coarse node {cv}, coarse graph has {k} nodes"
+            ));
+        }
+    }
+    let fine_total = fine.total_edge_weight();
+    let coarse_total = c.coarse.total_edge_weight();
+    if (fine_total - coarse_total).abs() > 1e-9 * fine_total.abs().max(1.0) {
+        return Err(format!(
+            "contraction changed the total edge weight: fine {fine_total}, coarse {coarse_total}"
+        ));
+    }
+    c.coarse.validate()?;
+    Ok(())
 }
 
 #[cfg(test)]

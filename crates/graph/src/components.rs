@@ -89,7 +89,7 @@ impl ConnectedComponents {
         else {
             return Vec::new();
         };
-        (0..self.assignment.len() as Node)
+        (0..self.assignment.len() as Node) // audit:allow(lossy-cast): bounded by the u32 node id space
             .filter(|&v| self.assignment.subset_of(v) as usize == best)
             .collect()
     }

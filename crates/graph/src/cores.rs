@@ -29,7 +29,7 @@ impl CoreDecomposition {
         }
         // simple degrees without self-loops
         let mut degree: Vec<u32> = (0..n as Node)
-            .map(|u| g.neighbors(u).iter().filter(|&&v| v != u).count() as u32)
+            .map(|u| g.neighbors(u).iter().filter(|&&v| v != u).count() as u32) // audit:allow(lossy-cast): bounded by the u32 node id space
             .collect();
         let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
 

@@ -98,7 +98,13 @@ impl Graph {
             total_weight,
             num_edges,
         };
-        debug_assert!(g.check_consistency(), "inconsistent CSR graph");
+        // Postcondition of every construction path (GraphBuilder::build and
+        // coarsening both land here): the full validator in debug builds or
+        // when the `validate` feature is on.
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        if let Err(e) = g.validate() {
+            panic!("construction produced an inconsistent CSR graph: {e}");
+        }
         g
     }
 
@@ -123,13 +129,13 @@ impl Graph {
     /// Iterator over all node ids `0..n`.
     #[inline]
     pub fn nodes(&self) -> std::ops::Range<Node> {
-        0..self.node_count() as Node
+        0..self.node_count() as Node // audit:allow(lossy-cast): bounded by the u32 node id space
     }
 
     /// Parallel iterator over all node ids.
     #[inline]
     pub fn par_nodes(&self) -> rayon::range::Iter<Node> {
-        (0..self.node_count() as Node).into_par_iter()
+        (0..self.node_count() as Node).into_par_iter() // audit:allow(lossy-cast): bounded by the u32 node id space
     }
 
     /// Unweighted degree of `u` (number of adjacency entries; a self-loop
@@ -234,6 +240,129 @@ impl Graph {
         self.par_nodes().for_each(f);
     }
 
+    /// Full structural validation with diagnostics. Verifies every CSR
+    /// invariant the rest of the workspace relies on:
+    ///
+    /// * offsets are monotone, start at 0 and end at `targets.len()`;
+    ///   `targets` and `weights` are parallel arrays;
+    /// * every adjacency row is strictly sorted (no duplicate targets) and
+    ///   every target id is in range;
+    /// * edge weights are finite and non-negative;
+    /// * undirected symmetry: every non-loop entry `(u → v, w)` has the
+    ///   mirror entry `(v → u, w)`; self-loops appear exactly once, in
+    ///   their own row (the workspace's self-loop convention);
+    /// * the cached `weighted_degrees`, `self_loops`, `total_weight` and
+    ///   `num_edges` agree with a recomputation from the raw arrays.
+    ///
+    /// Compiled only in debug builds or with the `validate` feature; the
+    /// parallel algorithms call it as a postcondition through
+    /// [`Self::check_consistency`]-style debug hooks.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.node_count();
+        if self.offsets.len() != n + 1 {
+            return Err(format!(
+                "offsets has length {} for {n} nodes (want n + 1)",
+                self.offsets.len()
+            ));
+        }
+        if self.offsets[0] != 0 {
+            return Err(format!("offsets[0] = {} (want 0)", self.offsets[0]));
+        }
+        if self.targets.len() != self.weights.len() {
+            return Err(format!(
+                "targets/weights length mismatch: {} vs {}",
+                self.targets.len(),
+                self.weights.len()
+            ));
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() {
+            return Err(format!(
+                "offsets end at {} but there are {} adjacency entries",
+                self.offsets.last().unwrap(),
+                self.targets.len()
+            ));
+        }
+        if self.weighted_degrees.len() != n || self.self_loops.len() != n {
+            return Err("cached degree arrays have wrong length".into());
+        }
+        let mut loop_total = 0.0;
+        let mut directed_weight = 0.0;
+        let mut num_loops = 0usize;
+        for u in 0..n {
+            if self.offsets[u] > self.offsets[u + 1] {
+                return Err(format!(
+                    "offsets not monotone at node {u}: {} > {}",
+                    self.offsets[u],
+                    self.offsets[u + 1]
+                ));
+            }
+            let row = &self.targets[self.offsets[u]..self.offsets[u + 1]];
+            let row_weights = &self.weights[self.offsets[u]..self.offsets[u + 1]];
+            if let Some(w) = row.windows(2).find(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "row of node {u} not strictly sorted: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+            let mut wd = 0.0;
+            for (&v, &w) in row.iter().zip(row_weights) {
+                if v as usize >= n {
+                    return Err(format!("node {u} has out-of-range neighbor {v} (n = {n})"));
+                }
+                if !w.is_finite() || w < 0.0 {
+                    return Err(format!(
+                        "edge {{{u}, {v}}} has invalid weight {w} (want finite, non-negative)"
+                    ));
+                }
+                wd += w;
+                if v as usize == u {
+                    loop_total += w;
+                    num_loops += 1;
+                } else if self.edge_weight(v, u as Node) != Some(w) {
+                    return Err(format!(
+                        "asymmetric edge: {u} → {v} has weight {w}, reverse entry {:?}",
+                        self.edge_weight(v, u as Node)
+                    ));
+                }
+            }
+            directed_weight += wd;
+            if (self.weighted_degrees[u] - wd).abs() > 1e-9 * wd.abs().max(1.0) {
+                return Err(format!(
+                    "cached weighted_degree of {u} is {} (recomputed {wd})",
+                    self.weighted_degrees[u]
+                ));
+            }
+            let self_loop: f64 = row
+                .iter()
+                .zip(row_weights)
+                .filter(|(&v, _)| v as usize == u)
+                .map(|(_, &w)| w)
+                .sum();
+            if (self.self_loops[u] - self_loop).abs() > 1e-9 * self_loop.abs().max(1.0) {
+                return Err(format!(
+                    "cached self-loop weight of {u} is {} (recomputed {self_loop})",
+                    self.self_loops[u]
+                ));
+            }
+        }
+        let total = (directed_weight - loop_total) / 2.0 + loop_total;
+        if (self.total_weight - total).abs() > 1e-9 * total.abs().max(1.0) {
+            return Err(format!(
+                "cached total_weight is {} (recomputed {total})",
+                self.total_weight
+            ));
+        }
+        let edges = (self.targets.len() - num_loops) / 2 + num_loops;
+        if self.num_edges != edges {
+            return Err(format!(
+                "cached num_edges is {} (recomputed {edges})",
+                self.num_edges
+            ));
+        }
+        Ok(())
+    }
+
     /// Structural invariants; used by tests and `debug_assert` on build.
     pub fn check_consistency(&self) -> bool {
         let n = self.node_count();
@@ -262,6 +391,97 @@ impl Graph {
             }
         }
         true
+    }
+}
+
+/// Corrupted-CSR fixtures: every class of invariant breakage must be
+/// rejected by [`Graph::validate`]. Lives in this module because only here
+/// can a `Graph` be assembled field by field, bypassing the builder.
+#[cfg(test)]
+mod validate_tests {
+    use super::Graph;
+    use crate::GraphBuilder;
+
+    /// A valid path 0-1-2 as raw parts, ready to be corrupted.
+    fn intact() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn intact_graph_validates() {
+        assert!(intact().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_non_monotone_offsets() {
+        let mut g = intact();
+        g.offsets[1] = 3; // 3 > offsets[2] = 3? make it regress: offsets = [0,3,1,4]
+        g.offsets[2] = 1;
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("monotone") || err.contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let mut g = intact();
+        g.targets[0] = 7;
+        let err = g.validate().unwrap_err();
+        assert!(
+            err.contains("out-of-range") || err.contains("asymmetric"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_asymmetric_edge() {
+        let mut g = intact();
+        // 1's row is [0, 2]; retarget the mirror entry of {0,1} to 2 → dup,
+        // instead retarget 0's single entry from 1 to 2 (row stays sorted)
+        g.targets[0] = 2;
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("asymmetric"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nan_and_negative_weights() {
+        let mut g = intact();
+        g.weights[0] = f64::NAN;
+        assert!(g.validate().unwrap_err().contains("invalid weight"));
+        let mut g = intact();
+        g.weights[0] = -1.0;
+        assert!(g.validate().unwrap_err().contains("invalid weight"));
+        let mut g = intact();
+        g.weights[0] = f64::INFINITY;
+        assert!(g.validate().unwrap_err().contains("invalid weight"));
+    }
+
+    #[test]
+    fn rejects_stale_caches() {
+        let mut g = intact();
+        g.total_weight = 99.0;
+        assert!(g.validate().unwrap_err().contains("total_weight"));
+        let mut g = intact();
+        g.weighted_degrees[1] = 0.5;
+        assert!(g.validate().unwrap_err().contains("weighted_degree"));
+        let mut g = intact();
+        g.num_edges = 5;
+        assert!(g.validate().unwrap_err().contains("num_edges"));
+        let mut g = intact();
+        g.self_loops[0] = 1.0;
+        assert!(g.validate().unwrap_err().contains("self-loop"));
+    }
+
+    #[test]
+    fn rejects_duplicate_targets() {
+        let mut g = intact();
+        // 1's row is [0, 2] at indices 1..3; duplicate the first entry
+        g.targets[2] = 0;
+        g.weights[2] = 1.0;
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("sorted"), "{err}");
     }
 }
 
@@ -323,7 +543,7 @@ mod tests {
         let g = triangle_with_loop();
         let mut edges = vec![];
         g.for_edges(|u, v, w| edges.push((u, v, w)));
-        edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        edges.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.total_cmp(&b.2)));
         assert_eq!(
             edges,
             vec![(0, 1, 1.0), (0, 2, 3.0), (1, 2, 2.0), (2, 2, 5.0)]
@@ -336,8 +556,11 @@ mod tests {
         let mut seq = vec![];
         g.for_edges(|u, v, w| seq.push((u, v, w)));
         let mut par = g.par_collect_edges();
-        seq.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        par.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let key = |a: &(u32, u32, f64), b: &(u32, u32, f64)| {
+            a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.total_cmp(&b.2))
+        };
+        seq.sort_by(key);
+        par.sort_by(key);
         assert_eq!(seq, par);
     }
 

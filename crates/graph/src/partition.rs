@@ -105,12 +105,51 @@ impl Partition {
     pub fn compact(&mut self) -> usize {
         let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
         for c in self.data.iter_mut() {
-            let next = remap.len() as u32;
+            let next = remap.len() as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
             let id = *remap.entry(*c).or_insert(next);
             *c = id;
         }
-        self.upper = remap.len() as u32;
+        self.upper = remap.len() as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        if let Err(e) = self.validate_dense() {
+            panic!("compact() postcondition violated: {e}");
+        }
         remap.len()
+    }
+
+    /// Checks the basic invariant: every community id is below
+    /// [`Self::upper_bound`]. Compiled in debug builds or with the
+    /// `validate` feature.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate(&self) -> Result<(), String> {
+        for (v, &c) in self.data.iter().enumerate() {
+            if c >= self.upper {
+                return Err(format!(
+                    "node {v} assigned community {c}, upper bound is {}",
+                    self.upper
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks [`Self::validate`] plus denseness: community ids form exactly
+    /// `0..upper_bound()` with no gaps — the state [`Self::compact`]
+    /// guarantees. Compiled in debug builds or with the `validate` feature.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate_dense(&self) -> Result<(), String> {
+        self.validate()?;
+        let mut used = vec![false; self.upper as usize];
+        for &c in &self.data {
+            used[c as usize] = true;
+        }
+        if let Some(gap) = used.iter().position(|&u| !u) {
+            return Err(format!(
+                "community id {gap} is unused but below the upper bound {}",
+                self.upper
+            ));
+        }
+        Ok(())
     }
 
     /// Number of distinct (non-empty) communities. Does not modify ids.
@@ -223,6 +262,25 @@ impl AtomicPartition {
         self.data[v as usize].store(c, Ordering::Relaxed);
     }
 
+    /// Checks that every concurrently-written entry is below `upper` (for
+    /// PLP's label array, `upper` is the node count: labels are node ids).
+    /// The shared array is racy by design, but *values* must always be ones
+    /// some thread actually wrote — a torn or out-of-range id would mean
+    /// the benign-race argument no longer holds. Compiled in debug builds
+    /// or with the `validate` feature.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    pub fn validate(&self, upper: u32) -> Result<(), String> {
+        for (v, a) in self.data.iter().enumerate() {
+            let c = a.load(Ordering::Relaxed);
+            if c >= upper {
+                return Err(format!(
+                    "node {v} carries concurrent label {c}, upper bound is {upper}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Snapshot into an owned [`Partition`].
     pub fn to_partition(&self) -> Partition {
         let data: Vec<u32> = self
@@ -308,6 +366,48 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.number_of_subsets(), 0);
         assert_eq!(Partition::all_in_one(0).upper_bound(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_partitions() {
+        assert!(Partition::singleton(5).validate().is_ok());
+        assert!(Partition::singleton(5).validate_dense().is_ok());
+        assert!(Partition::from_vec(vec![2, 0, 2]).validate().is_ok());
+        assert!(Partition::singleton(0).validate_dense().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_id_above_upper_bound() {
+        // corrupted fixture: an id at the upper bound (struct literal
+        // bypasses the maintenance in set()/from_vec())
+        let p = Partition {
+            data: vec![0, 5, 1],
+            upper: 3,
+        };
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("upper bound"), "{err}");
+        assert!(p.validate_dense().is_err());
+    }
+
+    #[test]
+    fn validate_dense_rejects_gaps() {
+        // ids < upper but id 1 unused: valid, yet not dense
+        let p = Partition {
+            data: vec![0, 2, 0],
+            upper: 3,
+        };
+        assert!(p.validate().is_ok());
+        let err = p.validate_dense().unwrap_err();
+        assert!(err.contains("unused"), "{err}");
+    }
+
+    #[test]
+    fn atomic_validate_bounds_concurrent_labels() {
+        let ap = AtomicPartition::singleton(4);
+        assert!(ap.validate(4).is_ok());
+        ap.set(2, 9);
+        let err = ap.validate(4).unwrap_err();
+        assert!(err.contains("concurrent label 9"), "{err}");
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub fn induced_subgraph(g: &Graph, nodes: &[Node]) -> Subgraph {
     for &v in nodes {
         assert!((v as usize) < n, "node {v} out of range");
         if from_original[v as usize].is_none() {
-            from_original[v as usize] = Some(to_original.len() as Node);
+            from_original[v as usize] = Some(to_original.len() as Node); // audit:allow(lossy-cast): bounded by the u32 node id space
             to_original.push(v);
         }
     }

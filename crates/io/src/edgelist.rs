@@ -29,7 +29,9 @@ pub fn read_edge_list_from(reader: impl Read) -> Result<EdgeListGraph, IoError> 
 
     let intern = |raw: u64, ids: &mut FxHashMap<u64, Node>, labels: &mut Vec<u64>| -> Node {
         *ids.entry(raw).or_insert_with(|| {
-            let id = labels.len() as Node;
+            // truncation is caught right after interning: the caller errors
+            // out once labels.len() exceeds the u32 id space
+            let id = labels.len() as Node; // audit:allow(lossy-cast)
             labels.push(raw);
             id
         })
@@ -45,7 +47,7 @@ pub fn read_edge_list_from(reader: impl Read) -> Result<EdgeListGraph, IoError> 
         let mut tok = t.split_whitespace();
         let u: u64 = tok
             .next()
-            .unwrap()
+            .ok_or_else(|| parse_error(lineno, "missing source id"))?
             .parse()
             .map_err(|_| parse_error(lineno, "bad source id"))?;
         let v: u64 = tok
@@ -54,13 +56,25 @@ pub fn read_edge_list_from(reader: impl Read) -> Result<EdgeListGraph, IoError> 
             .parse()
             .map_err(|_| parse_error(lineno, "bad target id"))?;
         let w: f64 = match tok.next() {
-            Some(s) => s
-                .parse()
-                .map_err(|_| parse_error(lineno, "bad edge weight"))?,
+            Some(s) => {
+                let w = s
+                    .parse()
+                    .map_err(|_| parse_error(lineno, "bad edge weight"))?;
+                if !f64::is_finite(w) || w <= 0.0 {
+                    return Err(parse_error(
+                        lineno,
+                        format!("edge weight `{s}` must be positive and finite"),
+                    ));
+                }
+                w
+            }
             None => 1.0,
         };
         let cu = intern(u, &mut ids, &mut labels);
         let cv = intern(v, &mut ids, &mut labels);
+        if labels.len() > u32::MAX as usize {
+            return Err(parse_error(lineno, "more than u32::MAX distinct node ids"));
+        }
         edges.push((cu, cv, w));
     }
 

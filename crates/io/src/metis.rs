@@ -50,7 +50,15 @@ pub fn read_metis_from(reader: impl Read) -> Result<Graph, IoError> {
         }
     };
 
-    let mut b = GraphBuilder::with_capacity(n, m);
+    if n > u32::MAX as usize {
+        return Err(parse_error(
+            header_lineno,
+            format!("node count {n} exceeds the u32 id space"),
+        ));
+    }
+    // Cap the speculative reservation: the header is untrusted input and a
+    // huge claimed edge count must not abort the process on allocation.
+    let mut b = GraphBuilder::with_capacity(n, m.min(1 << 24));
     let mut node: usize = 0;
     for (i, line) in lines {
         let lineno = i + 1;
@@ -82,8 +90,16 @@ pub fn read_metis_from(reader: impl Read) -> Result<Graph, IoError> {
                 let Some(wt) = tokens.next() else {
                     return Err(parse_error(lineno, "missing edge weight"));
                 };
-                wt.parse::<f64>()
-                    .map_err(|_| parse_error(lineno, format!("bad edge weight `{wt}`")))?
+                let w = wt
+                    .parse::<f64>()
+                    .map_err(|_| parse_error(lineno, format!("bad edge weight `{wt}`")))?;
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(parse_error(
+                        lineno,
+                        format!("edge weight `{wt}` must be positive and finite"),
+                    ));
+                }
+                w
             } else {
                 1.0
             };

@@ -32,6 +32,7 @@ pub fn read_partition(path: impl AsRef<Path>) -> Result<Partition, IoError> {
 /// Writes a partition to a writer.
 pub fn write_partition_to(p: &Partition, writer: impl Write) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
+    // audit:allow(lossy-cast): bounded by the u32 node id space
     for v in 0..p.len() as u32 {
         writeln!(w, "{}", p.subset_of(v))?;
     }

@@ -1,0 +1,178 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the slice of criterion the workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a simple mean over `sample_size` timed iterations after a
+//! warm-up phase — adequate for the relative comparisons the workspace's
+//! benches print, with none of criterion's statistics machinery. In test
+//! mode (`cargo test --benches`) each benchmark runs exactly once so CI
+//! smoke-checks stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, like criterion's.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one(name, 10, Duration::from_millis(100), test_mode, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target time over which samples are spread (ignored by the shim
+    /// beyond capping the sample count).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.criterion.test_mode;
+        run_one(name, self.sample_size, self.warm_up_time, test_mode, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, sample_size: usize, warm_up: Duration, test_mode: bool, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+    // Warm-up: run until the warm-up budget is spent.
+    let start = Instant::now();
+    while start.elapsed() < warm_up {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+    // Measurement.
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    let mean = total.as_secs_f64() / iters.max(1) as f64;
+    println!("{name:<40} {:>12.3} ms/iter ({iters} iters)", mean * 1e3);
+}
+
+/// Passed to benchmark closures; times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, keeping its result alive via `black_box`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

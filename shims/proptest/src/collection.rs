@@ -1,0 +1,46 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+
+/// Size specifications accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Lower bound (inclusive) and upper bound (exclusive).
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// Strategy for vectors whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds();
+    assert!(lo < hi, "empty vec size range");
+    VecStrategy { element, lo, hi }
+}
+
+/// Strategy produced by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.lo + rng.below(self.hi - self.lo);
+        (0..len).map(|_| self.element.gen(rng)).collect()
+    }
+}

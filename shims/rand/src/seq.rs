@@ -1,0 +1,119 @@
+//! Sequence-related random operations.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+            self.get(i)
+        }
+    }
+}
+
+/// Uniform index sampling without replacement.
+pub mod index {
+    use crate::Rng;
+
+    /// The result of [`sample`]: `amount` distinct indices in `0..length`.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The sampled indices as a vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True when no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length` via a
+    /// partial Fisher–Yates shuffle.
+    ///
+    /// Panics when `amount > length`, matching `rand`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from 0..{length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + ((rng.next_u64() as u128 * (length - i) as u128) >> 64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use crate::rngs::SmallRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn sample_yields_distinct_in_range() {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let picks = super::sample(&mut rng, 100, 30).into_vec();
+            assert_eq!(picks.len(), 30);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 30);
+            assert!(picks.iter().all(|&i| i < 100));
+        }
+
+        #[test]
+        fn sample_all_is_permutation() {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let mut picks = super::sample(&mut rng, 50, 50).into_vec();
+            picks.sort_unstable();
+            assert_eq!(picks, (0..50).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! The parallel-iterator traits and adapters.
+//!
+//! A pipeline is a splittable base plus zero or more adapters. Drivers
+//! ([`ParallelIterator::for_each`], [`ParallelIterator::collect`], …)
+//! split the pipeline into near-equal contiguous parts, run each part's
+//! sequential tail on a scoped thread, and merge the partial results in
+//! part order.
+
+/// Execution core shared by all drivers: split `p` into up to
+/// `current_num_threads()` parts and run `run` on each part concurrently.
+/// Partial results come back in part (i.e. input) order.
+fn execute<P, R, F>(p: P, run: F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let len = p.base_len();
+    let min = p.min_split_len().max(1);
+    let threads = crate::current_num_threads();
+    let parts_wanted = threads.min(len.div_ceil(min)).max(1);
+    if parts_wanted <= 1 || len <= 1 {
+        return vec![run(p)];
+    }
+
+    let mut parts = Vec::with_capacity(parts_wanted);
+    let mut rest = p;
+    let mut remaining = len;
+    let mut left = parts_wanted;
+    while left > 1 {
+        let take = remaining.div_ceil(left);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+        remaining -= take;
+        left -= 1;
+    }
+    parts.push(rest);
+
+    std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| scope.spawn(move || run(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// A splittable, thread-distributable iterator over `Item`s.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced by the pipeline.
+    type Item: Send;
+
+    /// Number of elements in the underlying splittable base. Adapters that
+    /// change the element count (`filter`, `flat_map_iter`) still report the
+    /// base length; it is only used to pick split points.
+    fn base_len(&self) -> usize;
+
+    /// Minimum number of base elements worth handing to one thread.
+    fn min_split_len(&self) -> usize {
+        1
+    }
+
+    /// Splits the pipeline at `index` (in base elements).
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// The sequential tail: a plain iterator over this part's items.
+    fn seq(self) -> impl Iterator<Item = Self::Item>;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Clone + Send + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keeps the items for which `pred` returns true.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Clone + Send + Sync,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Maps each item to a sequential iterator and flattens the results.
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Clone + Send + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Requests at least `min` base elements per thread.
+    fn with_min_len(self, min: usize) -> WithMinLen<Self> {
+        WithMinLen { base: self, min }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        execute(self, |part| part.seq().for_each(&f));
+    }
+
+    /// Runs `f` on every item with a per-thread scratch value from `init`.
+    fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> T + Send + Sync,
+        F: Fn(&mut T, Self::Item) + Send + Sync,
+    {
+        execute(self, |part| {
+            let mut scratch = init();
+            part.seq().for_each(|item| f(&mut scratch, item));
+        });
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        execute(self, |part| part.seq().count()).into_iter().sum()
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        execute(self, |part| part.seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// The largest item, or `None` when empty.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        execute(self, |part| part.seq().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// The smallest item, or `None` when empty.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        execute(self, |part| part.seq().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Reduces the items with `op`, seeding each thread with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        execute(self, |part| part.seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// Folds each thread's items into an accumulator from `identity`;
+    /// combine the per-thread accumulators with [`Fold::reduce`].
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Send + Sync,
+        F: Fn(A, Self::Item) -> A + Send + Sync,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Collects the items, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Marker for pipelines whose length is known exactly (all of them, in this
+/// shim). Exists for rayon name compatibility.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Types collectible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection, preserving item order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let parts = execute(p, |part| part.seq().collect::<Vec<T>>());
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The resulting pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types whose references iterate in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The resulting pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a shared reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Types whose mutable references iterate in parallel (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The resulting pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (an exclusive reference).
+    type Item: Send + 'data;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+/// Parallel sorting methods on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Sorts (unstable) in natural order.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Sorts (unstable) by a comparator.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        self.sort_unstable_by(|a, b| compare(a, b));
+    }
+}
+
+/// Pipeline stage produced by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+{
+    type Item = R;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = R> {
+        self.base.seq().map(self.f)
+    }
+}
+
+impl<P, R, F> IndexedParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+{
+}
+
+/// Pipeline stage produced by [`ParallelIterator::filter`].
+pub struct Filter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Clone + Send + Sync,
+{
+    type Item = P::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Filter {
+                base: l,
+                pred: self.pred.clone(),
+            },
+            Filter {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = P::Item> {
+        self.base.seq().filter(move |item| (self.pred)(item))
+    }
+}
+
+/// Pipeline stage produced by [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, I, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Clone + Send + Sync,
+{
+    type Item = I::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FlatMapIter {
+                base: l,
+                f: self.f.clone(),
+            },
+            FlatMapIter { base: r, f: self.f },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = I::Item> {
+        self.base.seq().flat_map(self.f)
+    }
+}
+
+/// Pipeline stage produced by [`ParallelIterator::with_min_len`].
+pub struct WithMinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for WithMinLen<P> {
+    type Item = P::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len().max(self.min)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            WithMinLen {
+                base: l,
+                min: self.min,
+            },
+            WithMinLen {
+                base: r,
+                min: self.min,
+            },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = P::Item> {
+        self.base.seq()
+    }
+}
+
+impl<P: ParallelIterator> IndexedParallelIterator for WithMinLen<P> {}
+
+/// Deferred fold produced by [`ParallelIterator::fold`]; finish it with
+/// [`Fold::reduce`].
+pub struct Fold<P, ID, F> {
+    base: P,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<P, A, ID, F> Fold<P, ID, F>
+where
+    P: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Send + Sync,
+    F: Fn(A, P::Item) -> A + Send + Sync,
+{
+    /// Combines the per-thread fold accumulators with `reduce_op`.
+    pub fn reduce<RID, R>(self, reduce_identity: RID, reduce_op: R) -> A
+    where
+        RID: Fn() -> A + Send + Sync,
+        R: Fn(A, A) -> A + Send + Sync,
+    {
+        let Fold {
+            base,
+            identity,
+            fold_op,
+        } = self;
+        execute(base, |part| part.seq().fold(identity(), &fold_op))
+            .into_iter()
+            .fold(reduce_identity(), reduce_op)
+    }
+}

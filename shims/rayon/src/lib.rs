@@ -1,0 +1,175 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Offline drop-in subset of the `rayon` data-parallelism API.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim provides the exact slice of rayon's API surface the workspace
+//! uses, implemented on `std::thread::scope`. Parallel iterators are
+//! represented as splittable pipelines: a splittable base (range, slice,
+//! vector) plus composable adapters (`map`, `filter`, `flat_map_iter`, …).
+//! Drivers split the pipeline into one part per thread, run each part's
+//! sequential tail on its own scoped thread, and merge the partial results
+//! in order, so `collect()` preserves item order exactly like rayon.
+//!
+//! Semantics intentionally preserved from rayon:
+//!
+//! * work executes on multiple OS threads (data races are real here, which
+//!   the concurrency stress tests rely on);
+//! * `collect`/`map` keep input order;
+//! * a panic in a worker propagates to the caller;
+//! * `ThreadPool::install` bounds the parallelism of nested calls.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+pub mod iter;
+pub mod range;
+pub mod slice;
+pub mod vec;
+
+/// The rayon prelude: the traits that put `par_iter()` and friends in scope.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel drivers will use in the current context.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to
+/// build a pool; the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (ambient) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads; `0` means the ambient default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped parallelism budget. Unlike real rayon no worker threads are kept
+/// alive; the pool only pins [`current_num_threads`] for the duration of
+/// [`ThreadPool::install`], which is all the workspace relies on.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let n = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        THREAD_OVERRIDE.with(|o| {
+            let prev = o.replace(Some(n));
+            let result = f();
+            o.set(prev);
+            result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<u64> = (0..10_000u64).map(|x| x * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sum_filter_count_fold_reduce() {
+        let s: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(s, 499_500);
+        let data: Vec<u32> = (0..100).collect();
+        let evens = data.par_iter().filter(|x| **x % 2 == 0).count();
+        assert_eq!(evens, 50);
+        let total = (0..100u64)
+            .into_par_iter()
+            .fold(|| 0u64, |a, x| a + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_slot() {
+        let mut data = vec![0u32; 4096];
+        data.par_iter_mut().for_each(|x| *x = 7);
+        assert!(data.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn flat_map_iter_keeps_order() {
+        let v: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .flat_map_iter(|x| (0..3).map(move |i| x * 3 + i))
+            .collect();
+        let expect: Vec<u32> = (0..300).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0..1000u64).into_par_iter().for_each(|i| {
+                assert!(i < 500, "boom");
+            });
+        });
+        assert!(r.is_err());
+    }
+}

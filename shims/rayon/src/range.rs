@@ -1,0 +1,79 @@
+//! Parallel iteration over integer ranges.
+//!
+//! A single generic impl over [`RangeInteger`] (rather than one impl per
+//! integer type) keeps integer-literal fallback working: `(0..10_000)`
+//! must infer `i32` exactly as it does with the real rayon.
+
+use crate::iter::{IndexedParallelIterator, IntoParallelIterator, ParallelIterator};
+
+/// Integer types usable as parallel range bounds.
+pub trait RangeInteger: Sized + Send + Copy {
+    /// Number of elements in `start..end` (0 if empty).
+    fn span(start: Self, end: Self) -> usize;
+    /// `self + i`, for splitting.
+    fn offset(self, i: usize) -> Self;
+}
+
+macro_rules! impl_range_integer {
+    ($($t:ty),*) => {$(
+        impl RangeInteger for $t {
+            #[inline]
+            fn span(start: Self, end: Self) -> usize {
+                if end <= start { 0 } else { (end - start) as usize }
+            }
+            #[inline]
+            fn offset(self, i: usize) -> Self {
+                self + i as $t
+            }
+        }
+    )*};
+}
+
+impl_range_integer!(u16, u32, u64, usize, i32, i64);
+
+/// Parallel iterator over a `Range<T>`.
+#[derive(Clone, Debug)]
+pub struct Iter<T> {
+    range: std::ops::Range<T>,
+}
+
+impl<T: RangeInteger> ParallelIterator for Iter<T> {
+    type Item = T;
+
+    fn base_len(&self) -> usize {
+        T::span(self.range.start, self.range.end)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start.offset(index);
+        (
+            Iter {
+                range: self.range.start..mid,
+            },
+            Iter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn seq(self) -> impl Iterator<Item = T> {
+        let mut next = self.range.start;
+        let len = T::span(self.range.start, self.range.end);
+        (0..len).map(move |_| {
+            let cur = next;
+            next = next.offset(1);
+            cur
+        })
+    }
+}
+
+impl<T: RangeInteger> IndexedParallelIterator for Iter<T> {}
+
+impl<T: RangeInteger> IntoParallelIterator for std::ops::Range<T> {
+    type Iter = Iter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Iter<T> {
+        Iter { range: self }
+    }
+}

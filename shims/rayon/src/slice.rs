@@ -1,0 +1,91 @@
+//! Parallel iteration over slices.
+
+use crate::iter::{
+    IndexedParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+};
+
+/// Borrowing parallel iterator over a slice.
+#[derive(Debug)]
+pub struct Iter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
+    type Item = &'data T;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (Iter { slice: l }, Iter { slice: r })
+    }
+
+    fn seq(self) -> impl Iterator<Item = &'data T> {
+        self.slice.iter()
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for Iter<'_, T> {}
+
+/// Mutably borrowing parallel iterator over a slice.
+#[derive(Debug)]
+pub struct IterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for IterMut<'data, T> {
+    type Item = &'data mut T;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (IterMut { slice: l }, IterMut { slice: r })
+    }
+
+    fn seq(self) -> impl Iterator<Item = &'data mut T> {
+        self.slice.iter_mut()
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for IterMut<'_, T> {}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = Iter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = Iter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = IterMut<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> IterMut<'data, T> {
+        IterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = IterMut<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> IterMut<'data, T> {
+        IterMut { slice: self }
+    }
+}

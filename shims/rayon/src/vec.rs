@@ -1,0 +1,37 @@
+//! Parallel iteration over owned vectors.
+
+use crate::iter::{IndexedParallelIterator, IntoParallelIterator, ParallelIterator};
+
+/// Owning parallel iterator over a `Vec<T>`.
+#[derive(Debug)]
+pub struct IntoIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoIter<T> {
+    type Item = T;
+
+    fn base_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.vec.split_off(index);
+        (self, IntoIter { vec: right })
+    }
+
+    fn seq(self) -> impl Iterator<Item = T> {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for IntoIter<T> {}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = IntoIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> IntoIter<T> {
+        IntoIter { vec: self }
+    }
+}

@@ -26,6 +26,7 @@ fn registry() -> Vec<Box<dyn CommunityDetector + Send>> {
 fn check_valid_partition(zeta: &Partition, g: &Graph, name: &str) {
     assert_eq!(zeta.len(), g.node_count(), "{name}: wrong partition length");
     // ids within bounds
+    // audit:allow(lossy-cast): bounded by the u32 node id space
     for v in 0..zeta.len() as u32 {
         assert!(
             zeta.subset_of(v) < zeta.upper_bound(),

@@ -79,6 +79,7 @@ fn detection_on_largest_component_subgraph() {
     let zeta = Plm::new().detect(&sub.graph);
     assert_eq!(zeta.len(), sub.graph.node_count());
     // map back to original ids without panicking
+    // audit:allow(lossy-cast): bounded by the u32 node id space
     for v in 0..sub.graph.node_count() as u32 {
         let orig = sub.to_original[v as usize];
         assert_eq!(sub.from_original[orig as usize], Some(v));
@@ -113,7 +114,7 @@ fn modularity_and_conductance_agree_on_better_partitions() {
     let good = partition_summary(&g, &truth);
     let bad = partition_summary(
         &g,
-        &parcom::graph::Partition::from_vec((0..g.node_count() as u32).map(|v| v % 8).collect()),
+        &parcom::graph::Partition::from_vec((0..g.node_count() as u32).map(|v| v % 8).collect()), // audit:allow(lossy-cast): bounded by the u32 node id space
     );
     assert!(good.mean_conductance < bad.mean_conductance);
     assert!(modularity(&g, &truth) > 0.0);

@@ -5,7 +5,7 @@ use parcom::community::combine::{core_communities, core_communities_exact};
 use parcom::community::compare::{jaccard_index, nmi, rand_index};
 use parcom::community::quality::{coverage, modularity};
 use parcom::community::{move_phase, CommunityDetector, Plm};
-use parcom::graph::{coarsen, GraphBuilder, Partition};
+use parcom::graph::{coarsen, AtomicPartition, GraphBuilder, Partition};
 use proptest::prelude::*;
 
 /// Strategy: a random weighted graph with up to `max_n` nodes.
@@ -76,8 +76,8 @@ proptest! {
     fn prolong_preserves_grouping((g, p) in arb_graph_and_partition(40)) {
         let c = coarsen(&g, &p);
         let prolonged = c.prolong(&Partition::singleton(c.coarse.node_count()));
-        for u in 0..g.node_count() as u32 {
-            for v in 0..g.node_count() as u32 {
+        for u in 0..g.node_count() as u32 { // audit:allow(lossy-cast): bounded by the u32 node id space
+            for v in 0..g.node_count() as u32 { // audit:allow(lossy-cast): bounded by the u32 node id space
                 prop_assert_eq!(p.in_same_subset(u, v), prolonged.in_same_subset(u, v));
             }
         }
@@ -147,6 +147,34 @@ proptest! {
         }
         // symmetry
         prop_assert!((jaccard_index(&a, &b) - jaccard_index(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_partition_stays_valid_under_concurrent_relaxed_writes(
+        n in 1usize..48,
+        plans in proptest::collection::vec(
+            proptest::collection::vec((0u32..48, 0u32..48), 0..64), 2..5),
+    ) {
+        // the PLP/PLM shared-assignment protocol: any number of threads
+        // race relaxed writes of in-range labels against each other; the
+        // result must still be a valid partition with every label one
+        // some thread actually wrote (never torn, never out of range)
+        let upper = n as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
+        let labels = AtomicPartition::singleton(n);
+        std::thread::scope(|s| {
+            for plan in &plans {
+                let labels = &labels;
+                s.spawn(move || {
+                    for &(v, c) in plan {
+                        labels.set(v % upper, c % upper);
+                    }
+                });
+            }
+        });
+        prop_assert!(labels.validate(upper).is_ok());
+        let snapshot = labels.to_partition();
+        prop_assert_eq!(snapshot.len(), n);
+        prop_assert!(snapshot.as_slice().iter().all(|&c| c < upper));
     }
 
     #[test]

@@ -28,10 +28,7 @@ fn all_algorithms_find_structure_on_karate() {
         let name = algo.name();
         let zeta = algo.detect(&g);
         let q = modularity(&g, &zeta);
-        assert!(
-            q > 0.2,
-            "{name}: modularity {q} too low on the karate club"
-        );
+        assert!(q > 0.2, "{name}: modularity {q} too low on the karate club");
         let k = zeta.number_of_subsets();
         assert!(
             (2..=12).contains(&k),
@@ -55,7 +52,11 @@ fn louvain_family_reaches_known_optimum_range() {
             "{}: karate modularity {q} below the Louvain-typical range",
             algo.name()
         );
-        assert!(q <= 0.4198 + 1e-9, "{}: above the known optimum?!", algo.name());
+        assert!(
+            q <= 0.4198 + 1e-9,
+            "{}: above the known optimum?!",
+            algo.name()
+        );
     }
 }
 
