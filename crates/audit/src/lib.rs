@@ -120,6 +120,8 @@ pub const ORDERING_ALLOWED: &[&str] = &[
     "crates/graph/tests/stress_interleaving.rs",
     "crates/core/src/plp.rs",
     "crates/core/src/plm.rs",
+    // sharded observability counters: one Relaxed fetch_add per worker
+    "crates/obs/src/counters.rs",
 ];
 
 /// Files in which `unsafe` is permitted. Deliberately empty: the workspace
@@ -358,7 +360,10 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
     let source_lines: Vec<&str> = source.lines().collect();
     let mut out = Vec::new();
     let normalized = path.replace('\\', "/");
-    let in_io_crate = normalized.contains("crates/io/");
+    // integration tests under crates/io/tests/ are test code, same as
+    // `#[cfg(test)]` modules — only the parsing paths in src/ are held to
+    // the no-unwrap rule
+    let in_io_crate = normalized.contains("crates/io/src/");
 
     let report = |idx: usize, rule: Rule, out: &mut Vec<Violation>| {
         if !allowed_here(&stripped, idx, rule) {

@@ -72,6 +72,12 @@ fn io_unwrap_rule_only_applies_to_io_crate() {
 }
 
 #[test]
+fn io_unwrap_rule_exempts_integration_tests() {
+    let fired = rules_fired("crates/io/tests/sneaky.rs", &fixture("bad_io_unwrap.rs"));
+    assert!(fired.is_empty(), "{fired:?}");
+}
+
+#[test]
 fn audit_allow_markers_suppress_diagnostics() {
     let fired = rules_fired("crates/core/src/sneaky.rs", &fixture("allowed_escapes.rs"));
     assert!(fired.is_empty(), "{fired:?}");

@@ -32,10 +32,14 @@ fn main() {
             theta_fraction: theta,
             ..Plp::default()
         };
-        let (zeta, t) = time(|| plp.detect(&g));
+        let ((zeta, report), t) = time(|| plp.detect_with_report(&g));
+        let iterations = report
+            .phase("label-propagation")
+            .and_then(|p| p.counter("iterations"))
+            .unwrap_or(0);
         rows.push(vec![
             format!("{theta:.0e}"),
-            plp.last_stats.iterations().to_string(),
+            iterations.to_string(),
             fmt_secs(t),
             format!("{:.4}", modularity(&g, &zeta)),
         ]);

@@ -25,16 +25,23 @@ fn main() {
         max_iterations: 50,
         ..Plp::default()
     };
-    plp.detect(&g);
+    let (_, report) = plp.detect_with_report(&g);
 
-    let stats = &plp.last_stats;
-    let rows: Vec<Vec<String>> = stats
-        .active_per_iteration
+    let phase = report
+        .phase("label-propagation")
+        .expect("PLP report carries the label-propagation phase");
+    let active = phase.series("active").unwrap_or(&[]);
+    let updated = phase.series("updated").unwrap_or(&[]);
+    let rows: Vec<Vec<String>> = active
         .iter()
-        .zip(&stats.updated_per_iteration)
+        .zip(updated)
         .enumerate()
-        .map(|(i, (active, updated))| {
-            vec![(i + 1).to_string(), active.to_string(), updated.to_string()]
+        .map(|(i, (a, u))| {
+            vec![
+                (i + 1).to_string(),
+                (*a as u64).to_string(),
+                (*u as u64).to_string(),
+            ]
         })
         .collect();
     print_table(
@@ -45,10 +52,9 @@ fn main() {
     println!(
         "default threshold θ = n·1e-5 = {:.0} would stop after iteration {}",
         g.node_count() as f64 * 1e-5,
-        stats
-            .updated_per_iteration
+        updated
             .iter()
-            .position(|&u| (u as f64) <= (g.node_count() as f64 * 1e-5).ceil())
-            .map_or(stats.iterations(), |p| p + 1)
+            .position(|&u| u <= (g.node_count() as f64 * 1e-5).ceil())
+            .map_or(updated.len(), |p| p + 1)
     );
 }

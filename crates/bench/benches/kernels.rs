@@ -44,7 +44,11 @@ fn bench_kernels(c: &mut Criterion) {
     });
 
     let bases: Vec<Partition> = (0..4)
-        .map(|i| Plp::with_seed(i as u64 + 1).detect(&g))
+        .map(|i| {
+            let mut plp = Plp::new();
+            plp.set_seed(i as u64 + 1);
+            plp.detect(&g)
+        })
         .collect();
     group.bench_function("djb2_combine_4x5k", |b| {
         b.iter(|| black_box(core_communities(&bases)))

@@ -1,7 +1,22 @@
 //! Minimal command-line argument parsing (no external dependencies).
 //!
 //! Grammar: `parcom <command> [--flag value]... [--switch]...`. Flags may be
-//! given as `--name value` or `--name=value`.
+//! given as `--name value` or `--name=value`; a `--name` not followed by a
+//! value is a boolean switch. Positional arguments beyond the command word
+//! are rejected.
+//!
+//! Flags shared across subcommands:
+//!
+//! | flag | commands | meaning |
+//! |------|----------|---------|
+//! | `--input FILE` | detect, stats, cg | graph file (`.metis`/`.graph` = METIS, else edge list) |
+//! | `--algo NAME` | detect | `plp`, `plm`, `plmr`, `epp`, `eppr`, `eml`, `louvain`, `pam`, `cel`, `cnm`, `rg`, `cggc`, `cggci` |
+//! | `--threads N` | detect | run inside a pool of `N` workers (0 = the default pool) |
+//! | `--seed S` | generate, detect | seed applied uniformly via `CommunityDetector::set_seed` (default 1) |
+//! | `--report json` | detect | emit the structured `RunReport` as JSON on stdout; the human summary moves to stderr |
+//! | `--gamma X` | detect | PLM resolution parameter |
+//! | `--ensemble B` | detect | ensemble size for `epp`/`eppr`/`eml`/`cggc`/`cggci` |
+//! | `--out FILE` | generate, detect, cg | output file |
 
 use std::collections::BTreeMap;
 

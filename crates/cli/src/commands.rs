@@ -27,13 +27,15 @@ fn load_graph(path: &str) -> Result<Graph, Box<dyn Error>> {
     Ok(g)
 }
 
-/// Builds the requested algorithm.
+/// Builds the requested algorithm. `--seed` is applied uniformly through
+/// [`CommunityDetector::set_seed`]; algorithms without randomized state
+/// ignore it.
 fn make_algorithm(args: &Args) -> Result<Box<dyn CommunityDetector + Send>, Box<dyn Error>> {
     let gamma: f64 = args.get_or("gamma", 1.0)?;
     let ensemble: usize = args.get_or("ensemble", 4)?;
     let seed: u64 = args.get_or("seed", 1)?;
-    let algo: Box<dyn CommunityDetector + Send> = match args.require("algo")? {
-        "plp" => Box::new(Plp::with_seed(seed)),
+    let mut algo: Box<dyn CommunityDetector + Send> = match args.require("algo")? {
+        "plp" => Box::new(Plp::new()),
         "plm" => Box::new(Plm::with_gamma(gamma)),
         "plmr" => Box::new(Plm {
             refine: true,
@@ -43,15 +45,16 @@ fn make_algorithm(args: &Args) -> Result<Box<dyn CommunityDetector + Send>, Box<
         "epp" => Box::new(Epp::plp_plm(ensemble)),
         "eppr" => Box::new(Epp::plp_plmr(ensemble)),
         "eml" => Box::new(EppIterated::new(ensemble)),
-        "louvain" => Box::new(Louvain::with_seed(seed)),
+        "louvain" => Box::new(Louvain::new()),
         "pam" => Box::new(Pam::new()),
         "cel" => Box::new(Pam::cel()),
         "cnm" => Box::new(Cnm::new()),
-        "rg" => Box::new(Rg::with_seed(seed)),
+        "rg" => Box::new(Rg::new()),
         "cggc" => Box::new(Cggc::new(ensemble)),
         "cggci" => Box::new(Cggc::iterated(ensemble)),
         other => return Err(format!("unknown algorithm `{other}`").into()),
     };
+    algo.set_seed(seed);
     Ok(algo)
 }
 
@@ -132,19 +135,32 @@ pub fn detect(args: &Args) -> CmdResult {
     let g = load_graph(input)?;
     let mut algo = make_algorithm(args)?;
     let threads: usize = args.get_or("threads", 0)?;
+    let report_json = match args.get("report") {
+        None => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(format!("unknown report format `{other}` (supported: json)").into())
+        }
+    };
 
+    // with --report, the run is instrumented; without, detect() keeps the
+    // zero-overhead path
     let run = |algo: &mut Box<dyn CommunityDetector + Send>| {
         let start = std::time::Instant::now();
-        let zeta = algo.detect(&g);
-        (zeta, start.elapsed())
+        let (zeta, report) = if report_json {
+            algo.detect_with_report(&g)
+        } else {
+            (algo.detect(&g), parcom_obs::RunReport::default())
+        };
+        (zeta, report, start.elapsed())
     };
-    let (zeta, elapsed) = if threads > 0 {
+    let (zeta, report, elapsed) = if threads > 0 {
         parcom_graph::parallel::with_threads(threads, || run(&mut algo))
     } else {
         run(&mut algo)
     };
 
-    println!(
+    let summary = format!(
         "{} on {input}: n={} m={} -> {} communities, modularity {:.4}, coverage {:.4}, {:.3}s ({:.1}M edges/s)",
         algo.name(),
         g.node_count(),
@@ -155,9 +171,21 @@ pub fn detect(args: &Args) -> CmdResult {
         elapsed.as_secs_f64(),
         g.edge_count() as f64 / elapsed.as_secs_f64().max(1e-12) / 1e6,
     );
+    if report_json {
+        // stdout carries exactly one JSON object; the human summary moves
+        // to stderr so the output stays pipeable
+        eprintln!("{summary}");
+        println!("{}", report.to_json());
+    } else {
+        println!("{summary}");
+    }
     if let Some(out) = args.get("out") {
         parcom_io::write_partition(&zeta, out)?;
-        println!("wrote partition to {out}");
+        if report_json {
+            eprintln!("wrote partition to {out}");
+        } else {
+            println!("wrote partition to {out}");
+        }
     }
     Ok(())
 }

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! parcom generate --model lfr --n 10000 --mu 0.3 --out g.metis [--truth t.part]
-//! parcom detect   --input g.metis --algo plm [--out z.part] [--threads 4]
+//! parcom detect   --input g.metis --algo plm [--out z.part] [--threads 4] [--seed 1] [--report json]
 //! parcom stats    --input g.metis
 //! parcom compare  --a z.part --b t.part
 //! parcom cg       --input g.metis --partition z.part --out communities.dot
@@ -53,7 +53,7 @@ fn print_usage() {
          commands:\n\
          \x20 generate --model <lfr|rmat|ba|ws|er|grid|planted|cliques> --out FILE [model flags] [--truth FILE]\n\
          \x20 detect   --input FILE --algo <plp|plm|plmr|epp|eppr|eml|louvain|pam|cel|cnm|rg|cggc|cggci>\n\
-         \x20          [--out FILE] [--threads N] [--gamma X] [--ensemble B] [--seed S]\n\
+         \x20          [--out FILE] [--threads N] [--gamma X] [--ensemble B] [--seed S] [--report json]\n\
          \x20 stats    --input FILE\n\
          \x20 compare  --a PARTITION --b PARTITION\n\
          \x20 cg       --input FILE --partition FILE --out FILE.dot\n\

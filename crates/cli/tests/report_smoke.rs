@@ -1,0 +1,83 @@
+//! End-to-end smoke test of `parcom detect --report json`: the binary must
+//! emit exactly one syntactically valid JSON object on stdout, carrying the
+//! pinned report schema with per-level PLM phase timings.
+
+use std::process::Command;
+
+fn parcom() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parcom"))
+}
+
+fn temp_graph(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("parcom_cli_report_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let (g, _) = parcom_generators::ring_of_cliques(16, 8);
+    parcom_io::write_metis(&g, &path).unwrap();
+    path
+}
+
+#[test]
+fn detect_report_json_emits_a_valid_run_report() {
+    let graph = temp_graph("report.metis");
+    let out = parcom()
+        .args(["detect", "--algo", "plm", "--report", "json"])
+        .arg("--input")
+        .arg(&graph)
+        .env_remove("PARCOM_OBS")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // stdout is exactly one JSON object (one line), pipeable as-is
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        stdout.lines().count(),
+        1,
+        "stdout not a single line: {stdout}"
+    );
+    parcom_obs::json::validate(stdout.trim()).expect("stdout is valid JSON");
+    assert!(stdout.contains(&format!("\"schema\":\"{}\"", parcom_obs::SCHEMA)));
+    assert!(stdout.contains("\"algorithm\":\"PLM\""));
+    // the acceptance bar: per-level phases with move/coarsen timings present
+    assert!(stdout.contains("\"name\":\"level-0\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"move-phase\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"coarsen\""), "{stdout}");
+
+    // the human summary moved to stderr
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("communities"), "{stderr}");
+}
+
+#[test]
+fn detect_without_report_keeps_stdout_human() {
+    let graph = temp_graph("plain.metis");
+    let out = parcom()
+        .args(["detect", "--algo", "plp", "--seed", "7"])
+        .arg("--input")
+        .arg(&graph)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("communities"), "{stdout}");
+    assert!(!stdout.contains("\"schema\""), "{stdout}");
+}
+
+#[test]
+fn detect_rejects_unknown_report_format() {
+    let graph = temp_graph("badfmt.metis");
+    let out = parcom()
+        .args(["detect", "--algo", "plm", "--report", "xml"])
+        .arg("--input")
+        .arg(&graph)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown report format"), "{stderr}");
+}

@@ -1,6 +1,7 @@
 //! The common interface of all community detection algorithms.
 
 use parcom_graph::{Graph, Partition};
+use parcom_obs::{Recorder, RunReport};
 
 /// A (possibly stateful) community detection algorithm.
 ///
@@ -8,6 +9,18 @@ use parcom_graph::{Graph, Partition};
 /// `&mut self` so algorithms can record run statistics (e.g. PLP's
 /// per-iteration label counts for Fig. 1) and advance internal RNG state
 /// between ensemble runs.
+///
+/// Two provided methods make every detector uniform to drive:
+///
+/// * [`set_seed`](Self::set_seed) replaces the zoo of bespoke `with_seed`
+///   constructors — ensemble plumbing and the CLI reseed any detector the
+///   same way, and deterministic algorithms simply ignore it.
+/// * [`detect_with_report`](Self::detect_with_report) runs detection with
+///   phase-level instrumentation and returns the structured
+///   [`RunReport`] alongside the partition. The default wraps `detect`
+///   in a single `detect` phase; instrumented algorithms (PLP, PLM,
+///   EPP) override it with per-phase breakdowns. Reports honor the
+///   `PARCOM_OBS` kill switch via [`Recorder::from_env`].
 pub trait CommunityDetector {
     /// Human-readable algorithm label as used in the paper's figures
     /// (e.g. `"PLM"`, `"EPP(4,PLP,PLM)"`).
@@ -15,6 +28,29 @@ pub trait CommunityDetector {
 
     /// Detects communities in `g`.
     fn detect(&mut self, g: &Graph) -> Partition;
+
+    /// Reseeds the algorithm's randomness. The default is a no-op:
+    /// deterministic algorithms (CNM, PAM) have nothing to reseed.
+    fn set_seed(&mut self, seed: u64) {
+        let _ = seed;
+    }
+
+    /// Detects communities and returns the structured run report.
+    ///
+    /// The default implementation wraps [`detect`](Self::detect) in a
+    /// single `detect` phase and records the input size and final
+    /// community count; algorithms with internal phases override this.
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let zeta = {
+            let _span = rec.span("detect");
+            self.detect(g)
+        };
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        (zeta, rec.finish(self.name()))
+    }
 }
 
 impl<T: CommunityDetector + ?Sized> CommunityDetector for Box<T> {
@@ -24,6 +60,17 @@ impl<T: CommunityDetector + ?Sized> CommunityDetector for Box<T> {
 
     fn detect(&mut self, g: &Graph) -> Partition {
         (**self).detect(g)
+    }
+
+    // The provided methods must forward too: a `Box<dyn CommunityDetector>`
+    // would otherwise silently use the defaults and drop the inner
+    // algorithm's seed handling and phase breakdown.
+    fn set_seed(&mut self, seed: u64) {
+        (**self).set_seed(seed);
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        (**self).detect_with_report(g)
     }
 }
 
@@ -41,11 +88,55 @@ mod tests {
         }
     }
 
+    /// Overrides the provided methods, to prove boxing forwards them.
+    struct Seeded {
+        seed: u64,
+    }
+    impl CommunityDetector for Seeded {
+        fn name(&self) -> String {
+            "Seeded".into()
+        }
+        fn detect(&mut self, g: &Graph) -> Partition {
+            Partition::singleton(g.node_count())
+        }
+        fn set_seed(&mut self, seed: u64) {
+            self.seed = seed;
+        }
+        fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+            let mut report = RunReport::empty(self.name());
+            report.counters.push(("seed".into(), self.seed));
+            (self.detect(g), report)
+        }
+    }
+
     #[test]
     fn boxed_detector_delegates() {
         let mut boxed: Box<dyn CommunityDetector> = Box::new(Trivial);
         assert_eq!(boxed.name(), "Trivial");
         let g = parcom_graph::GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
         assert_eq!(boxed.detect(&g).number_of_subsets(), 1);
+    }
+
+    #[test]
+    fn default_report_wraps_detect() {
+        let g = parcom_graph::GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let (zeta, report) = Trivial.detect_with_report(&g);
+        assert_eq!(zeta.number_of_subsets(), 1);
+        assert_eq!(report.algorithm, "Trivial");
+        assert_eq!(report.counter("nodes"), Some(3));
+        assert_eq!(report.counter("edges"), Some(2));
+        assert_eq!(report.counter("communities"), Some(1));
+        assert!(report.phase("detect").is_some());
+    }
+
+    #[test]
+    fn boxing_forwards_overridden_provided_methods() {
+        let mut boxed: Box<dyn CommunityDetector + Send> = Box::new(Seeded { seed: 0 });
+        boxed.set_seed(42);
+        let g = parcom_graph::GraphBuilder::from_edges(2, &[(0, 1)]);
+        let (_, report) = boxed.detect_with_report(&g);
+        // the override's report shape, not the default's
+        assert_eq!(report.counter("seed"), Some(42));
+        assert!(report.phases.is_empty());
     }
 }

@@ -89,6 +89,10 @@ impl CommunityDetector for Cggc {
         }
     }
 
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     fn detect(&mut self, g: &Graph) -> Partition {
         let n = g.node_count();
         if n == 0 {

@@ -11,8 +11,16 @@ use crate::algorithm::CommunityDetector;
 use crate::combine::core_communities;
 use crate::plm::Plm;
 use crate::plp::Plp;
-use parcom_graph::{coarsen, Graph, Partition};
+use parcom_graph::{coarsen, coarsen_with, Graph, Partition};
+use parcom_obs::{Recorder, RunReport};
 use rayon::prelude::*;
+
+/// A PLP base classifier with the given ensemble-member seed.
+fn seeded_plp(seed: u64) -> Plp {
+    let mut plp = Plp::new();
+    plp.set_seed(seed);
+    plp
+}
 
 /// The ensemble preprocessing scheme, generic in base and final algorithms.
 ///
@@ -40,9 +48,7 @@ impl Epp {
     pub fn plp_plm(ensemble_size: usize) -> Self {
         Self::new(
             (0..ensemble_size)
-                .map(|i| {
-                    Box::new(Plp::with_seed(1 + i as u64)) as Box<dyn CommunityDetector + Send>
-                })
+                .map(|i| Box::new(seeded_plp(1 + i as u64)) as Box<dyn CommunityDetector + Send>)
                 .collect(),
             Box::new(Plm::new()),
         )
@@ -52,9 +58,7 @@ impl Epp {
     pub fn plp_plmr(ensemble_size: usize) -> Self {
         Self::new(
             (0..ensemble_size)
-                .map(|i| {
-                    Box::new(Plp::with_seed(1 + i as u64)) as Box<dyn CommunityDetector + Send>
-                })
+                .map(|i| Box::new(seeded_plp(1 + i as u64)) as Box<dyn CommunityDetector + Send>)
                 .collect(),
             Box::new(Plm::with_refinement()),
         )
@@ -76,35 +80,62 @@ impl Epp {
     pub fn ensemble_size(&self) -> usize {
         self.bases.len()
     }
-}
 
-impl CommunityDetector for Epp {
-    fn name(&self) -> String {
-        format!(
-            "EPP({},{},{})",
-            self.bases.len(),
-            self.bases.first().map_or_else(|| "?".into(), |b| b.name()),
-            self.final_algorithm.name()
-        )
-    }
-
-    fn detect(&mut self, g: &Graph) -> Partition {
-        // 1. base solutions, in parallel
-        let base_solutions: Vec<Partition> = self
-            .bases
-            .par_iter_mut()
-            .map(|base| base.detect(g))
-            .collect();
+    fn run(&mut self, g: &Graph, rec: &Recorder) -> Partition {
+        // 1. base solutions, in parallel; with an enabled recorder each
+        //    member contributes its own sub-report
+        let collect_reports = rec.is_enabled();
+        let base_solutions: Vec<Partition> = {
+            let _span = rec.span("ensemble");
+            let results: Vec<(Partition, Option<RunReport>)> = self
+                .bases
+                .par_iter_mut()
+                .map(|base| {
+                    if collect_reports {
+                        let (zeta, report) = base.detect_with_report(g);
+                        (zeta, Some(report))
+                    } else {
+                        (base.detect(g), None)
+                    }
+                })
+                .collect();
+            results
+                .into_iter()
+                .map(|(zeta, report)| {
+                    if let Some(r) = report {
+                        rec.sub_report(r);
+                    }
+                    zeta
+                })
+                .collect()
+        };
 
         // 2. consensus core communities
-        let core = core_communities(&base_solutions);
+        let core = {
+            let span = rec.span("consensus");
+            let core = core_communities(&base_solutions);
+            span.counter("core-communities", core.number_of_subsets() as u64);
+            core
+        };
 
-        // 3. contract and solve with the final algorithm
-        let contraction = coarsen(g, &core);
-        let coarse_solution = self.final_algorithm.detect(&contraction.coarse);
+        // 3. contract (a `coarsen` span) and solve with the final algorithm
+        let contraction = coarsen_with(g, &core, rec);
+        let coarse_solution = {
+            let _span = rec.span("final");
+            if collect_reports {
+                let (zeta, report) = self.final_algorithm.detect_with_report(&contraction.coarse);
+                rec.sub_report(report);
+                zeta
+            } else {
+                self.final_algorithm.detect(&contraction.coarse)
+            }
+        };
 
         // 4. prolong back to the input graph
-        let mut zeta = contraction.prolong(&coarse_solution);
+        let mut zeta = {
+            let _span = rec.span("prolong");
+            contraction.prolong(&coarse_solution)
+        };
         zeta.compact();
         // Postcondition: the prolonged consensus must cover the input graph
         // with a dense assignment, and every base stayed within the core —
@@ -126,6 +157,44 @@ impl CommunityDetector for Epp {
             }
         }
         zeta
+    }
+}
+
+impl CommunityDetector for Epp {
+    fn name(&self) -> String {
+        format!(
+            "EPP({},{},{})",
+            self.bases.len(),
+            self.bases.first().map_or_else(|| "?".into(), |b| b.name()),
+            self.final_algorithm.name()
+        )
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run(g, &Recorder::disabled())
+    }
+
+    /// Distributes distinct seeds derived from `seed` to the ensemble
+    /// members (solution diversity needs distinct streams) and reseeds
+    /// the final algorithm.
+    fn set_seed(&mut self, seed: u64) {
+        for (i, base) in self.bases.iter_mut().enumerate() {
+            base.set_seed(seed.wrapping_add(1 + i as u64));
+        }
+        self.final_algorithm.set_seed(seed);
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        rec.counter("ensemble-size", self.bases.len() as u64);
+        let zeta = self.run(g, &rec);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric("modularity", crate::quality::modularity(g, &zeta));
+        }
+        (zeta, rec.finish(self.name()))
     }
 }
 
@@ -162,6 +231,10 @@ impl CommunityDetector for EppIterated {
         format!("EML({},PLP,PLM)", self.ensemble_size)
     }
 
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
     fn detect(&mut self, g: &Graph) -> Partition {
         use crate::quality::modularity;
         let mut chain: Vec<parcom_graph::Coarsening> = Vec::new();
@@ -172,7 +245,7 @@ impl CommunityDetector for EppIterated {
             let bases: Vec<Partition> = (0..self.ensemble_size)
                 .into_par_iter()
                 .map(|i| {
-                    let mut plp = Plp::with_seed(self.seed + ((level as u64) << 32) + i as u64 + 1);
+                    let mut plp = seeded_plp(self.seed + ((level as u64) << 32) + i as u64 + 1);
                     plp.detect(&current)
                 })
                 .collect();
@@ -251,7 +324,7 @@ mod tests {
     fn improves_on_single_plp_for_noisy_graphs() {
         let (g, _) = lfr(LfrParams::benchmark(2000, 0.5), 22);
         let q_epp = modularity(&g, &Epp::plp_plm(4).detect(&g));
-        let q_plp = modularity(&g, &Plp::with_seed(1).detect(&g));
+        let q_plp = modularity(&g, &seeded_plp(1).detect(&g));
         assert!(
             q_epp >= q_plp - 0.02,
             "EPP ({q_epp}) should improve on PLP ({q_plp})"
@@ -269,6 +342,38 @@ mod tests {
     #[should_panic(expected = "at least one base")]
     fn zero_ensemble_rejected() {
         Epp::plp_plm(0);
+    }
+
+    #[test]
+    fn report_carries_member_sub_reports() {
+        let (g, _) = ring_of_cliques(6, 8);
+        let mut epp = Epp::plp_plm(3);
+        let (_, report) = epp.detect_with_report(&g);
+        // 3 ensemble members + the final algorithm
+        assert_eq!(report.sub_reports.len(), 4);
+        assert_eq!(
+            report
+                .sub_reports
+                .iter()
+                .filter(|r| r.algorithm == "PLP")
+                .count(),
+            3
+        );
+        assert_eq!(report.sub_reports.last().unwrap().algorithm, "PLM");
+        for name in ["ensemble", "consensus", "coarsen", "final", "prolong"] {
+            assert!(report.phase(name).is_some(), "missing phase {name}");
+        }
+        assert_eq!(report.counter("ensemble-size"), Some(3));
+    }
+
+    #[test]
+    fn set_seed_diversifies_members() {
+        let (g, _) = ring_of_cliques(5, 6);
+        let mut epp = Epp::plp_plm(2);
+        epp.set_seed(99);
+        // members must not share a seed (diversity requires distinct streams)
+        let zeta = epp.detect(&g);
+        assert!(modularity(&g, &zeta) > 0.5);
     }
 
     #[test]

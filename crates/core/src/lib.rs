@@ -48,9 +48,13 @@ pub use community_stats::{community_stats, partition_summary, CommunityStat, Par
 pub use epp::{Epp, EppIterated};
 pub use louvain::Louvain;
 pub use pam::Pam;
-pub use plm::{move_phase, Plm, PlmStats};
+pub use plm::{move_phase, move_phase_with, Plm, PlmStats};
 pub use plp::{Plp, PlpStats, SeedPerturbation};
 pub use rg::Rg;
+
+// The observability layer the detectors report through, re-exported so
+// downstream users of `detect_with_report` need no direct obs dependency.
+pub use parcom_obs::{PhaseReport, Recorder, RunReport};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -58,4 +62,5 @@ pub mod prelude {
     pub use crate::compare::{adjusted_rand_index, jaccard_index, nmi};
     pub use crate::quality::{coverage, modularity, modularity_gamma};
     pub use crate::{Cggc, Cnm, Epp, Louvain, Pam, Plm, Plp, Rg};
+    pub use parcom_obs::{Recorder, RunReport};
 }

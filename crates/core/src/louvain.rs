@@ -44,6 +44,7 @@ impl Louvain {
     }
 
     /// Louvain with a specific shuffle seed.
+    #[deprecated(note = "use `Louvain::new()` + `CommunityDetector::set_seed`")]
     pub fn with_seed(seed: u64) -> Self {
         Self {
             seed,
@@ -146,6 +147,10 @@ impl CommunityDetector for Louvain {
         zeta.compact();
         zeta
     }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
 }
 
 #[cfg(test)]
@@ -194,8 +199,12 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let (g, _) = lfr(LfrParams::benchmark(600, 0.4), 5);
-        let a = Louvain::with_seed(7).detect(&g);
-        let b = Louvain::with_seed(7).detect(&g);
+        let mut first = Louvain::new();
+        first.set_seed(7);
+        let mut second = Louvain::new();
+        second.set_seed(7);
+        let a = first.detect(&g);
+        let b = second.detect(&g);
         assert_eq!(a.as_slice(), b.as_slice());
     }
 

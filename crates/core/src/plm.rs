@@ -19,9 +19,9 @@
 use crate::algorithm::CommunityDetector;
 use crate::quality::delta_modularity;
 use parcom_graph::hashing::FxHashMap;
-use parcom_graph::{coarsen, AtomicF64, AtomicPartition, Graph, Partition};
+use parcom_graph::{coarsen_with, AtomicF64, AtomicPartition, Graph, Partition};
+use parcom_obs::{CounterCell, LocalCount, Recorder, RunReport};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration and statistics of the parallel Louvain method.
 ///
@@ -51,6 +51,8 @@ pub struct Plm {
     /// Cap on the coarsening hierarchy depth.
     pub max_levels: usize,
     /// Statistics of the most recent run.
+    #[deprecated(note = "use `detect_with_report` — each `level-*` phase carries \
+                `nodes` and `moves` counters")]
     pub last_stats: PlmStats,
 }
 
@@ -64,6 +66,7 @@ pub struct PlmStats {
 }
 
 impl Default for Plm {
+    #[allow(deprecated)] // initializes the deprecated stats field
     fn default() -> Self {
         Self {
             gamma: 1.0,
@@ -98,21 +101,40 @@ impl Plm {
         }
     }
 
-    fn run_recursive(&self, g: &Graph, depth: usize, stats: &mut PlmStats) -> Partition {
+    fn run_recursive(
+        &self,
+        g: &Graph,
+        depth: usize,
+        stats: &mut PlmStats,
+        rec: &Recorder,
+    ) -> Partition {
+        // The whole level — including the recursion into coarser levels —
+        // runs inside one `level-{depth}` span, so the report mirrors the
+        // hierarchy: level-0 → [move-phase, coarsen, level-1 → […], refine].
+        let level = rec.span_fmt(format_args!("level-{depth}"));
+        level.counter("nodes", g.node_count() as u64);
+        level.counter("edges", g.edge_count() as u64);
         stats.level_sizes.push(g.node_count());
         let mut zeta = Partition::singleton(g.node_count());
-        let moves = move_phase(g, &mut zeta, self.gamma, self.max_move_iterations);
+        let moves = {
+            let span = rec.span("move-phase");
+            let moves = move_phase_with(g, &mut zeta, self.gamma, self.max_move_iterations, rec);
+            span.counter("moves", moves);
+            moves
+        };
         stats.moves_per_level.push(moves);
 
         if moves > 0 && depth < self.max_levels {
-            let contraction = coarsen(g, &zeta);
+            let contraction = coarsen_with(g, &zeta, rec);
             // progress guard: recursion must strictly shrink the graph
             if contraction.coarse.node_count() < g.node_count() {
-                let coarse_zeta = self.run_recursive(&contraction.coarse, depth + 1, stats);
+                let coarse_zeta = self.run_recursive(&contraction.coarse, depth + 1, stats, rec);
                 zeta = contraction.prolong(&coarse_zeta);
                 if self.refine {
+                    let span = rec.span("refine");
                     let refine_moves =
-                        move_phase(g, &mut zeta, self.gamma, self.max_move_iterations);
+                        move_phase_with(g, &mut zeta, self.gamma, self.max_move_iterations, rec);
+                    span.counter("moves", refine_moves);
                     if let Some(m) = stats.moves_per_level.get_mut(depth) {
                         *m += refine_moves;
                     }
@@ -121,22 +143,14 @@ impl Plm {
         }
         zeta
     }
-}
 
-impl CommunityDetector for Plm {
-    fn name(&self) -> String {
-        let base = if self.refine { "PLMR" } else { "PLM" };
-        if (self.gamma - 1.0).abs() > 1e-12 {
-            format!("{base}(γ={})", self.gamma)
-        } else {
-            base.to_string()
-        }
-    }
-
-    fn detect(&mut self, g: &Graph) -> Partition {
+    fn run(&mut self, g: &Graph, rec: &Recorder) -> Partition {
         let mut stats = PlmStats::default();
-        let mut zeta = self.run_recursive(g, 0, &mut stats);
-        self.last_stats = stats;
+        let mut zeta = self.run_recursive(g, 0, &mut stats, rec);
+        #[allow(deprecated)]
+        {
+            self.last_stats = stats;
+        }
         zeta.compact();
         // Postcondition for PLM and PLMR alike: a dense assignment
         // covering exactly the input nodes (coarsening inside
@@ -158,6 +172,38 @@ impl CommunityDetector for Plm {
     }
 }
 
+impl CommunityDetector for Plm {
+    fn name(&self) -> String {
+        let base = if self.refine { "PLMR" } else { "PLM" };
+        if (self.gamma - 1.0).abs() > 1e-12 {
+            format!("{base}(γ={})", self.gamma)
+        } else {
+            base.to_string()
+        }
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run(g, &Recorder::disabled())
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let zeta = self.run(g, &rec);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            #[allow(deprecated)]
+            rec.counter("levels", self.last_stats.level_sizes.len() as u64);
+            rec.metric(
+                "modularity",
+                crate::quality::modularity_gamma(g, &zeta, self.gamma),
+            );
+        }
+        (zeta, rec.finish(self.name()))
+    }
+}
+
 /// The parallel local move phase (Algorithm 2).
 ///
 /// Moves nodes of `g` between the communities of `zeta` (modified in place)
@@ -166,6 +212,20 @@ impl CommunityDetector for Plm {
 /// the atomic label array and one atomic volume accumulator per community —
 /// reads may be stale by design.
 pub fn move_phase(g: &Graph, zeta: &mut Partition, gamma: f64, max_iterations: usize) -> u64 {
+    move_phase_with(g, zeta, gamma, max_iterations, &Recorder::disabled())
+}
+
+/// [`move_phase`] with instrumentation: appends the per-sweep move count
+/// as a `moves` series on the innermost open span (the caller names the
+/// phase — PLM uses `move-phase` and `refine`). With a disabled recorder
+/// this is exactly `move_phase`.
+pub fn move_phase_with(
+    g: &Graph,
+    zeta: &mut Partition,
+    gamma: f64,
+    max_iterations: usize,
+    rec: &Recorder,
+) -> u64 {
     let n = g.node_count();
     if n == 0 {
         return 0;
@@ -185,9 +245,12 @@ pub fn move_phase(g: &Graph, zeta: &mut Partition, gamma: f64, max_iterations: u
 
     let mut total_moves = 0u64;
     for _ in 0..max_iterations {
-        let moves = AtomicU64::new(0);
-        g.par_nodes()
-            .for_each_init(FxHashMap::<u32, f64>::default, |weight_to, u| {
+        // Sharded move counter: workers bump thread-local integers that
+        // merge into the cell when their state drops at the sweep's end.
+        let moves = CounterCell::new();
+        g.par_nodes().for_each_init(
+            || (FxHashMap::<u32, f64>::default(), LocalCount::new(&moves)),
+            |(weight_to, local_moves), u| {
                 if g.degree(u) == 0 {
                     return;
                 }
@@ -228,11 +291,13 @@ pub fn move_phase(g: &Graph, zeta: &mut Partition, gamma: f64, max_iterations: u
                     volumes[c as usize].fetch_sub(vol_u);
                     volumes[best_community as usize].fetch_add(vol_u);
                     labels.set(u, best_community);
-                    moves.fetch_add(1, Ordering::Relaxed);
+                    local_moves.bump();
                 }
-            });
-        let moves = moves.load(Ordering::Relaxed);
+            },
+        );
+        let moves = moves.get();
         total_moves += moves;
+        rec.push_series("moves", moves as f64);
         if moves == 0 {
             break;
         }
@@ -309,15 +374,47 @@ mod tests {
     fn builds_a_hierarchy() {
         let (g, _) = lfr(LfrParams::benchmark(1000, 0.3), 8);
         let mut plm = Plm::new();
-        plm.detect(&g);
-        assert!(
-            plm.last_stats.level_sizes.len() >= 2,
-            "no coarsening happened"
-        );
+        let (_, report) = plm.detect_with_report(&g);
+        // walk the nested level-* phases, collecting their node counts
+        let mut sizes = Vec::new();
+        let mut level = report.phase("level-0");
+        while let Some(p) = level {
+            sizes.push(p.counter("nodes").unwrap());
+            assert!(p.child("move-phase").is_some());
+            level = p.children.iter().find(|c| c.name.starts_with("level-"));
+        }
+        assert!(sizes.len() >= 2, "no coarsening happened");
         // strictly decreasing level sizes
-        for w in plm.last_stats.level_sizes.windows(2) {
+        for w in sizes.windows(2) {
             assert!(w[1] < w[0]);
         }
+        assert_eq!(report.counter("levels"), Some(sizes.len() as u64));
+        #[allow(deprecated)]
+        let stats_sizes: Vec<u64> = plm
+            .last_stats
+            .level_sizes
+            .iter()
+            .map(|&s| s as u64)
+            .collect();
+        assert_eq!(sizes, stats_sizes);
+    }
+
+    #[test]
+    fn report_has_per_level_phase_timings() {
+        let (g, _) = lfr(LfrParams::benchmark(1500, 0.3), 12);
+        let (_, report) = Plm::with_refinement().detect_with_report(&g);
+        let level0 = report.phase("level-0").expect("level-0 phase");
+        assert!(level0.wall_seconds > 0.0);
+        let mv = level0.child("move-phase").expect("move-phase under level");
+        assert!(mv.wall_seconds > 0.0);
+        assert!(mv.counter("moves").unwrap() > 0);
+        assert!(!mv.series("moves").unwrap().is_empty());
+        let coarsen = level0.child("coarsen").expect("coarsen under level");
+        assert!(coarsen.counter("merges").unwrap() > 0);
+        assert!(level0.child("refine").is_some(), "PLMR refines every level");
+        // nesting discipline: children ran inside the level span
+        assert!(level0.children_wall_seconds() <= level0.wall_seconds + 1e-9);
+        assert!(report.metric("modularity").unwrap() > 0.3);
     }
 
     #[test]

@@ -17,9 +17,10 @@
 use crate::algorithm::CommunityDetector;
 use parcom_graph::hashing::FxHashMap;
 use parcom_graph::{AtomicPartition, Graph, Node, Partition};
+use parcom_obs::{CounterCell, LocalCount, Recorder, RunReport};
 use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Initial activation perturbations for ensemble diversity (§V-D: the paper
 /// "perturb[s] the communities initially by randomly choosing a small number
@@ -46,9 +47,10 @@ pub enum SeedPerturbation {
 ///
 /// let (graph, _) = ring_of_cliques(5, 10);
 /// let mut plp = Plp::new();
-/// let communities = plp.detect(&graph);
+/// let (communities, report) = plp.detect_with_report(&graph);
 /// assert_eq!(communities.number_of_subsets(), 5);
-/// assert!(plp.last_stats.iterations() > 0);
+/// let prop = report.phase("label-propagation").unwrap();
+/// assert!(!prop.series("updated").unwrap().is_empty());
 /// ```
 #[derive(Clone, Debug)]
 pub struct Plp {
@@ -66,6 +68,8 @@ pub struct Plp {
     /// Seed for the optional shuffle and tie-breaking.
     pub seed: u64,
     /// Statistics of the most recent run (for Fig. 1).
+    #[deprecated(note = "use `detect_with_report` — the `label-propagation` phase \
+                carries the `active`/`updated` series")]
     pub last_stats: PlpStats,
 }
 
@@ -86,6 +90,7 @@ impl PlpStats {
 }
 
 impl Default for Plp {
+    #[allow(deprecated)] // initializes the deprecated stats field
     fn default() -> Self {
         Self {
             theta_fraction: 1e-5,
@@ -114,6 +119,7 @@ impl Plp {
     }
 
     /// PLP with a specific seed (ensemble members use distinct seeds).
+    #[deprecated(note = "use `Plp::new()` + `CommunityDetector::set_seed`")]
     pub fn with_seed(seed: u64) -> Self {
         Self {
             seed,
@@ -124,6 +130,19 @@ impl Plp {
     /// Runs label propagation, optionally seeded with an initial assignment
     /// (used when PLP refines a prolonged coarse solution).
     pub fn run_from(&mut self, g: &Graph, initial: Option<&Partition>) -> Partition {
+        self.run_with(g, initial, &Recorder::disabled())
+    }
+
+    /// [`run_from`](Self::run_from) with phase-level instrumentation: the
+    /// iteration loop runs inside a `label-propagation` span carrying the
+    /// per-iteration `active`/`updated` series (Fig. 1) and the total
+    /// `label-updates` count.
+    pub fn run_with(
+        &mut self,
+        g: &Graph,
+        initial: Option<&Partition>,
+        rec: &Recorder,
+    ) -> Partition {
         let n = g.node_count();
         let labels = match initial {
             Some(p) => AtomicPartition::from_partition(p),
@@ -166,6 +185,7 @@ impl Plp {
         let threads = rayon::current_num_threads();
         let shuffle = self.explicit_randomization || threads <= 1 || n < 64 * threads;
 
+        let span = rec.span("label-propagation");
         for _iter in 0..self.max_iterations {
             if shuffle {
                 order.shuffle(&mut rng);
@@ -174,12 +194,15 @@ impl Plp {
                 .par_iter()
                 .filter(|a| a.load(Ordering::Relaxed))
                 .count();
-            let updated = AtomicU64::new(0);
+            // One sharded counter per iteration: workers bump a plain
+            // thread-local integer, merged when the worker state drops at
+            // the end of the parallel region.
+            let updated = CounterCell::new();
 
             let iter_salt = self.seed ^ ((stats.iterations() as u64 + 1) << 32);
-            order
-                .par_iter()
-                .for_each_init(FxHashMap::<u32, f64>::default, |weight_to, &v| {
+            order.par_iter().for_each_init(
+                || (FxHashMap::<u32, f64>::default(), LocalCount::new(&updated)),
+                |(weight_to, local_updates), &v| {
                     if g.degree(v) == 0 || !active[v as usize].load(Ordering::Relaxed) {
                         return;
                     }
@@ -215,7 +238,7 @@ impl Plp {
                     }
                     if best != current {
                         labels.set(v, best);
-                        updated.fetch_add(1, Ordering::Relaxed);
+                        local_updates.bump();
                         active[v as usize].store(true, Ordering::Relaxed);
                         for u in g.neighbors(v) {
                             active[*u as usize].store(true, Ordering::Relaxed);
@@ -223,17 +246,29 @@ impl Plp {
                     } else {
                         active[v as usize].store(false, Ordering::Relaxed);
                     }
-                });
+                },
+            );
 
-            let updated = updated.load(Ordering::Relaxed);
+            let updated = updated.get();
             stats.active_per_iteration.push(active_count);
             stats.updated_per_iteration.push(updated as usize);
+            span.push_series("active", active_count as f64);
+            span.push_series("updated", updated as f64);
             if updated <= theta {
                 break;
             }
         }
+        span.counter("iterations", stats.iterations() as u64);
+        span.counter(
+            "label-updates",
+            stats.updated_per_iteration.iter().map(|&u| u as u64).sum(),
+        );
+        span.close();
 
-        self.last_stats = stats;
+        #[allow(deprecated)]
+        {
+            self.last_stats = stats;
+        }
         // Postcondition on the racy label array itself: labels are node
         // ids (or initial-assignment ids), so every concurrently-written
         // value must stay below the id upper bound.
@@ -269,6 +304,22 @@ impl CommunityDetector for Plp {
     fn detect(&mut self, g: &Graph) -> Partition {
         self.run_from(g, None)
     }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let zeta = self.run_with(g, None, &rec);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric("modularity", crate::quality::modularity(g, &zeta));
+        }
+        (zeta, rec.finish(self.name()))
+    }
 }
 
 #[cfg(test)]
@@ -298,22 +349,31 @@ mod tests {
     fn labels_stabilize_quickly() {
         let (g, _) = ring_of_cliques(10, 8);
         let mut plp = Plp::new();
-        plp.detect(&g);
-        assert!(
-            plp.last_stats.iterations() <= 20,
-            "took {} iterations",
-            plp.last_stats.iterations()
-        );
+        let (_, report) = plp.detect_with_report(&g);
+        let iterations = report
+            .phase("label-propagation")
+            .and_then(|p| p.counter("iterations"))
+            .unwrap();
+        assert!(iterations <= 20, "took {iterations} iterations");
     }
 
     #[test]
     fn updates_decline_over_iterations() {
         let (g, _) = lfr(LfrParams::benchmark(2000, 0.2), 3);
         let mut plp = Plp::new();
-        plp.detect(&g);
-        let u = &plp.last_stats.updated_per_iteration;
+        let (_, report) = plp.detect_with_report(&g);
+        let prop = report.phase("label-propagation").unwrap();
+        let u = prop.series("updated").unwrap();
         assert!(u.len() >= 2);
         assert!(u[u.len() - 1] < u[0], "updates should decline: {u:?}");
+        // the report's series mirror the deprecated stats field
+        #[allow(deprecated)]
+        let stats = &plp.last_stats;
+        assert_eq!(stats.updated_per_iteration.len(), u.len());
+        assert_eq!(
+            prop.series("active").unwrap().len(),
+            stats.active_per_iteration.len()
+        );
     }
 
     #[test]
@@ -419,12 +479,27 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated stats field must keep working
     fn stats_are_reset_between_runs() {
         let (g, _) = ring_of_cliques(4, 5);
         let mut plp = Plp::new();
         plp.detect(&g);
         let first = plp.last_stats.iterations();
+        assert!(first > 0);
         plp.detect(&g);
         assert_eq!(plp.last_stats.iterations(), first);
+    }
+
+    #[test]
+    fn set_seed_matches_deprecated_constructor() {
+        let (g, _) = lfr(LfrParams::benchmark(600, 0.4), 11);
+        #[allow(deprecated)]
+        let a = Plp::with_seed(7).detect(&g);
+        let mut plp = Plp::new();
+        plp.set_seed(7);
+        let b = plp.detect(&g);
+        // same configuration: both runs see identical RNG streams
+        assert_eq!(plp.seed, 7);
+        let _ = (a, b); // racy parallel runs need not agree exactly
     }
 }

@@ -15,6 +15,7 @@
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, Node};
 use crate::partition::Partition;
+use parcom_obs::Recorder;
 use rayon::prelude::*;
 
 /// Result of contracting a graph by a partition.
@@ -57,7 +58,16 @@ impl Coarsening {
 /// assert_eq!(c.coarse.edge_weight(0, 1), Some(1.0)); // the cut edge 1-2
 /// ```
 pub fn coarsen(g: &Graph, zeta: &Partition) -> Coarsening {
+    coarsen_with(g, zeta, &Recorder::disabled())
+}
+
+/// [`coarsen`] with phase-level instrumentation: wraps the contraction in
+/// a `coarsen` span and records the merge count (fine nodes absorbed into
+/// other nodes) plus the coarse graph's size on it. With a disabled
+/// recorder this is exactly `coarsen`.
+pub fn coarsen_with(g: &Graph, zeta: &Partition, rec: &Recorder) -> Coarsening {
     assert_eq!(zeta.len(), g.node_count());
+    let span = rec.span("coarsen");
 
     // Dense community ids without mutating the caller's partition.
     let mut compacted = zeta.clone();
@@ -108,6 +118,12 @@ pub fn coarsen(g: &Graph, zeta: &Partition) -> Coarsening {
         coarse: b.build(),
         fine_to_coarse,
     };
+    span.counter(
+        "merges",
+        (g.node_count() - result.coarse.node_count()) as u64,
+    );
+    span.counter("coarse-nodes", result.coarse.node_count() as u64);
+    span.counter("coarse-edges", result.coarse.edge_count() as u64);
     #[cfg(any(debug_assertions, feature = "validate"))]
     if let Err(e) = validate_coarsening(g, &result) {
         panic!("coarsen() postcondition violated: {e}");

@@ -40,7 +40,7 @@ pub mod traversal;
 pub use assortativity::degree_assortativity;
 pub use atomicf64::AtomicF64;
 pub use builder::GraphBuilder;
-pub use coarsening::{coarsen, Coarsening};
+pub use coarsening::{coarsen, coarsen_with, Coarsening};
 pub use cores::CoreDecomposition;
 pub use graph::{Graph, Node};
 pub use partition::{AtomicPartition, Partition};
@@ -49,7 +49,7 @@ pub use subgraph::{induced_subgraph, largest_component_subgraph, Subgraph};
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::builder::GraphBuilder;
-    pub use crate::coarsening::{coarsen, Coarsening};
+    pub use crate::coarsening::{coarsen, coarsen_with, Coarsening};
     pub use crate::graph::{Graph, Node};
     pub use crate::partition::{AtomicPartition, Partition};
 }

@@ -46,13 +46,19 @@ pub fn write_community_graph_dot_to(
     Ok(())
 }
 
-/// Writes a community graph as DOT to a file path.
+/// Writes a community graph as DOT to a file path. Errors carry the path.
 pub fn write_community_graph_dot(
     cg: &CommunityGraph,
     name: &str,
     path: impl AsRef<Path>,
 ) -> Result<(), IoError> {
-    write_community_graph_dot_to(cg, name, std::fs::File::create(path)?)
+    let path = path.as_ref();
+    crate::at_path(
+        path,
+        std::fs::File::create(path)
+            .map_err(IoError::from)
+            .and_then(|f| write_community_graph_dot_to(cg, name, f)),
+    )
 }
 
 #[cfg(test)]

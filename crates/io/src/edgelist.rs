@@ -4,7 +4,7 @@
 //! non-negative integers; they are compacted to `0..n` in first-seen order
 //! (SNAP files routinely have gaps). Comment lines start with `#` or `%`.
 
-use crate::{parse_error, IoError};
+use crate::{at_path, parse_error, IoError};
 use parcom_graph::hashing::FxHashMap;
 use parcom_graph::{Graph, GraphBuilder, Node};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -88,9 +88,15 @@ pub fn read_edge_list_from(reader: impl Read) -> Result<EdgeListGraph, IoError> 
     })
 }
 
-/// Reads an edge list from a file path.
+/// Reads an edge list from a file path. Errors carry the path (and line).
 pub fn read_edge_list(path: impl AsRef<Path>) -> Result<EdgeListGraph, IoError> {
-    read_edge_list_from(std::fs::File::open(path)?)
+    let path = path.as_ref();
+    at_path(
+        path,
+        std::fs::File::open(path)
+            .map_err(IoError::from)
+            .and_then(read_edge_list_from),
+    )
 }
 
 /// Writes a graph as an edge list (each undirected edge once, weights
@@ -119,9 +125,15 @@ pub fn write_edge_list_to(g: &Graph, writer: impl Write) -> Result<(), IoError> 
     Ok(())
 }
 
-/// Writes an edge list to a file path.
+/// Writes an edge list to a file path. Errors carry the path.
 pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
-    write_edge_list_to(g, std::fs::File::create(path)?)
+    let path = path.as_ref();
+    at_path(
+        path,
+        std::fs::File::create(path)
+            .map_err(IoError::from)
+            .and_then(|f| write_edge_list_to(g, f)),
+    )
 }
 
 #[cfg(test)]

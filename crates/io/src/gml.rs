@@ -54,13 +54,19 @@ pub fn write_gml_to(
     Ok(())
 }
 
-/// Writes GML to a file path.
+/// Writes GML to a file path. Errors carry the path.
 pub fn write_gml(
     g: &Graph,
     communities: Option<&Partition>,
     path: impl AsRef<Path>,
 ) -> Result<(), IoError> {
-    write_gml_to(g, communities, std::fs::File::create(path)?)
+    let path = path.as_ref();
+    crate::at_path(
+        path,
+        std::fs::File::create(path)
+            .map_err(IoError::from)
+            .and_then(|f| write_gml_to(g, communities, f)),
+    )
 }
 
 #[cfg(test)]

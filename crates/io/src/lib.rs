@@ -28,40 +28,124 @@ pub use gml::{write_gml, write_gml_to};
 pub use metis::{read_metis, write_metis};
 pub use partition_io::{read_partition, write_partition};
 
-/// Errors produced by the readers.
+use std::path::{Path, PathBuf};
+
+/// The error of every reader and writer in this crate: one uniform shape
+/// carrying *what* went wrong ([`kind`](Self::kind)) and *where* — the
+/// file path (attached by the path-based entry points such as
+/// [`read_metis`]) and the 1-based line number (attached by the parsers
+/// when the offending line is known).
+///
+/// `Display` leads with the location in the conventional
+/// `path:line: message` form, so errors surface directly usable context:
+///
+/// ```text
+/// corpus/web.graph:17: bad neighbor id `x`
+/// ```
 #[derive(Debug)]
-pub enum IoError {
+pub struct IoError {
+    path: Option<PathBuf>,
+    line: Option<usize>,
+    kind: IoErrorKind,
+}
+
+/// What went wrong, independent of location.
+#[derive(Debug)]
+pub enum IoErrorKind {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The input violates the expected format.
-    Parse {
-        /// 1-based line number of the offending line.
-        line: usize,
-        /// Description of the problem.
-        message: String,
-    },
+    Parse(String),
+}
+
+impl IoError {
+    /// A parse error with no location yet.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self {
+            path: None,
+            line: None,
+            kind: IoErrorKind::Parse(message.into()),
+        }
+    }
+
+    /// Attaches the 1-based line number of the offending line.
+    pub fn with_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches the file the error occurred in. Called by the path-based
+    /// entry points; an already-attached path is kept (innermost wins).
+    pub fn with_path(mut self, path: impl Into<PathBuf>) -> Self {
+        if self.path.is_none() {
+            self.path = Some(path.into());
+        }
+        self
+    }
+
+    /// The file the error occurred in, when known.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The 1-based line number of the offending line, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &IoErrorKind {
+        &self.kind
+    }
 }
 
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IoError::Io(e) => write!(f, "i/o error: {e}"),
-            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        match (&self.path, self.line) {
+            (Some(p), Some(l)) => write!(f, "{}:{l}: ", p.display())?,
+            (Some(p), None) => write!(f, "{}: ", p.display())?,
+            (None, Some(l)) => write!(f, "line {l}: ")?,
+            (None, None) => {}
+        }
+        match &self.kind {
+            IoErrorKind::Io(e) => write!(f, "i/o error: {e}"),
+            IoErrorKind::Parse(message) => write!(f, "{message}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
-
-impl From<std::io::Error> for IoError {
-    fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            IoErrorKind::Io(e) => Some(e),
+            IoErrorKind::Parse(_) => None,
+        }
     }
 }
 
-pub(crate) fn parse_error(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse {
-        line,
-        message: message.into(),
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        Self {
+            path: None,
+            line: None,
+            kind: IoErrorKind::Io(e),
+        }
     }
+}
+
+/// A parse error at a known line; `line == 0` means "no meaningful line"
+/// (e.g. whole-file consistency checks).
+pub(crate) fn parse_error(line: usize, message: impl Into<String>) -> IoError {
+    let e = IoError::parse(message);
+    if line > 0 {
+        e.with_line(line)
+    } else {
+        e
+    }
+}
+
+/// Attaches a path to the error of a fallible I/O operation — the common
+/// pattern of every path-based entry point in this crate.
+pub(crate) fn at_path<T>(path: &Path, result: Result<T, IoError>) -> Result<T, IoError> {
+    result.map_err(|e| e.with_path(path))
 }

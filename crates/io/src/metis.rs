@@ -4,7 +4,7 @@
 //! Line `i` (1-based) lists the neighbors of node `i`; with weights,
 //! neighbors alternate with their edge weight. Comment lines start with `%`.
 
-use crate::{parse_error, IoError};
+use crate::{at_path, parse_error, IoError};
 use parcom_graph::{Graph, GraphBuilder, Node};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -126,9 +126,15 @@ pub fn read_metis_from(reader: impl Read) -> Result<Graph, IoError> {
     Ok(g)
 }
 
-/// Reads a METIS graph from a file path.
+/// Reads a METIS graph from a file path. Errors carry the path (and line).
 pub fn read_metis(path: impl AsRef<Path>) -> Result<Graph, IoError> {
-    read_metis_from(std::fs::File::open(path)?)
+    let path = path.as_ref();
+    at_path(
+        path,
+        std::fs::File::open(path)
+            .map_err(IoError::from)
+            .and_then(read_metis_from),
+    )
 }
 
 /// Writes a graph in METIS format to a writer. Weights are emitted unless
@@ -161,9 +167,15 @@ pub fn write_metis_to(g: &Graph, writer: impl Write) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Writes a METIS graph to a file path.
+/// Writes a METIS graph to a file path. Errors carry the path.
 pub fn write_metis(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
-    write_metis_to(g, std::fs::File::create(path)?)
+    let path = path.as_ref();
+    at_path(
+        path,
+        std::fs::File::create(path)
+            .map_err(IoError::from)
+            .and_then(|f| write_metis_to(g, f)),
+    )
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Partition files: one community id per line, line `i` holding ζ(i).
 //! This is the format used by the DIMACS clustering tools.
 
-use crate::{parse_error, IoError};
+use crate::{at_path, parse_error, IoError};
 use parcom_graph::Partition;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -24,9 +24,15 @@ pub fn read_partition_from(reader: impl Read) -> Result<Partition, IoError> {
     Ok(Partition::from_vec(data))
 }
 
-/// Reads a partition from a file path.
+/// Reads a partition from a file path. Errors carry the path (and line).
 pub fn read_partition(path: impl AsRef<Path>) -> Result<Partition, IoError> {
-    read_partition_from(std::fs::File::open(path)?)
+    let path = path.as_ref();
+    at_path(
+        path,
+        std::fs::File::open(path)
+            .map_err(IoError::from)
+            .and_then(read_partition_from),
+    )
 }
 
 /// Writes a partition to a writer.
@@ -39,9 +45,15 @@ pub fn write_partition_to(p: &Partition, writer: impl Write) -> Result<(), IoErr
     Ok(())
 }
 
-/// Writes a partition to a file path.
+/// Writes a partition to a file path. Errors carry the path.
 pub fn write_partition(p: &Partition, path: impl AsRef<Path>) -> Result<(), IoError> {
-    write_partition_to(p, std::fs::File::create(path)?)
+    let path = path.as_ref();
+    at_path(
+        path,
+        std::fs::File::create(path)
+            .map_err(IoError::from)
+            .and_then(|f| write_partition_to(p, f)),
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,97 @@
+//! The uniform `IoError` contract: every reader's error carries the file
+//! path (when entered through a path) and the offending line number (when
+//! the parser knows it), and `Display` leads with `path:line:`.
+
+use parcom_io::{read_edge_list, read_metis, read_partition, IoError, IoErrorKind};
+use std::path::PathBuf;
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("parcom_io_error_context");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+/// The error must name the path and the 1-based line, in `path:line:` form.
+fn assert_context(err: &IoError, path: &std::path::Path, line: usize) {
+    assert_eq!(err.path(), Some(path), "missing path context: {err}");
+    assert_eq!(err.line(), Some(line), "wrong line context: {err}");
+    let display = err.to_string();
+    let expected_prefix = format!("{}:{line}: ", path.display());
+    assert!(
+        display.starts_with(&expected_prefix),
+        "`{display}` does not start with `{expected_prefix}`"
+    );
+    assert!(matches!(err.kind(), IoErrorKind::Parse(_)));
+}
+
+#[test]
+fn edgelist_errors_carry_path_and_line() {
+    let path = write_temp("bad.edges", "# fine\n0 1\nnot numbers\n");
+    let err = read_edge_list(&path).unwrap_err();
+    assert_context(&err, &path, 3);
+}
+
+#[test]
+fn metis_errors_carry_path_and_line() {
+    let path = write_temp("bad.metis", "2 1\n2\nbogus\n");
+    let err = read_metis(&path).unwrap_err();
+    assert_context(&err, &path, 3);
+}
+
+#[test]
+fn metis_header_errors_point_at_the_header() {
+    let path = write_temp("bad_header.metis", "% comment\nonly-one-field\n");
+    let err = read_metis(&path).unwrap_err();
+    assert_context(&err, &path, 2);
+}
+
+#[test]
+fn partition_errors_carry_path_and_line() {
+    let path = write_temp("bad.ptn", "0\n1\nx\n");
+    let err = read_partition(&path).unwrap_err();
+    assert_context(&err, &path, 3);
+}
+
+#[test]
+fn missing_file_carries_path_but_no_line() {
+    let path = std::env::temp_dir().join("parcom_io_error_context/does_not_exist.graph");
+    let err = read_metis(&path).unwrap_err();
+    assert_eq!(err.path(), Some(path.as_path()));
+    assert_eq!(err.line(), None);
+    assert!(matches!(err.kind(), IoErrorKind::Io(_)));
+    let display = err.to_string();
+    assert!(
+        display.starts_with(&format!("{}: ", path.display())),
+        "`{display}` lacks path prefix"
+    );
+}
+
+#[test]
+fn whole_file_checks_have_path_but_no_line() {
+    // edge-count mismatch is only detectable after the whole file is read
+    let path = write_temp("mismatch.metis", "2 5\n2\n1\n");
+    let err = read_metis(&path).unwrap_err();
+    assert_eq!(err.path(), Some(path.as_path()));
+    assert_eq!(err.line(), None);
+    assert!(err.to_string().contains("header claims"));
+}
+
+#[test]
+fn reader_entry_points_have_line_but_no_path() {
+    let err = parcom_io::metis::read_metis_from("2 1\n2\nbogus\n".as_bytes()).unwrap_err();
+    assert_eq!(err.path(), None);
+    assert_eq!(err.line(), Some(3));
+    assert!(err.to_string().starts_with("line 3: "), "{err}");
+}
+
+#[test]
+fn good_files_round_trip_through_paths() {
+    let (g, _) = parcom_generators::ring_of_cliques(3, 4);
+    let path = std::env::temp_dir().join("parcom_io_error_context/ok.metis");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    parcom_io::write_metis(&g, &path).unwrap();
+    let g2 = read_metis(&path).unwrap();
+    assert_eq!(g.edge_count(), g2.edge_count());
+}

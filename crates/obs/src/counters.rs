@@ -1,0 +1,125 @@
+//! Sharded event counters for parallel hot loops.
+//!
+//! The pattern: the driver allocates one [`CounterCell`] per event kind
+//! and each worker carries a [`LocalCount`] in its per-thread state (for
+//! rayon, the `init` value of `for_each_init`). Workers bump the local
+//! plain integer — no cache-line contention — and the total is merged
+//! into the shared atomic exactly once, when the local state drops at the
+//! end of the parallel region (i.e. at span close). The merge is a
+//! relaxed `fetch_add`: the cell is a statistic, not a synchronization
+//! point, and is only read after the parallel region has joined.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared event counter: one cache line, relaxed atomic adds.
+#[derive(Debug, Default)]
+pub struct CounterCell(AtomicU64);
+
+impl CounterCell {
+    /// A fresh zero counter.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events. Safe to call from any thread.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current total. Only meaningful after the parallel region producing
+    /// the events has joined.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-local shard of a [`CounterCell`]: accumulates into a plain
+/// integer and merges into the shared cell on [`flush`](Self::flush) or
+/// drop.
+#[derive(Debug)]
+pub struct LocalCount<'a> {
+    cell: &'a CounterCell,
+    pending: u64,
+}
+
+impl<'a> LocalCount<'a> {
+    /// A fresh shard of `cell`.
+    pub fn new(cell: &'a CounterCell) -> Self {
+        Self { cell, pending: 0 }
+    }
+
+    /// Counts `n` events locally (no shared-memory traffic).
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.pending += n;
+    }
+
+    /// Counts one event locally.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.pending += 1;
+    }
+
+    /// Merges the pending local total into the shared cell now.
+    pub fn flush(&mut self) {
+        self.cell.add(self.pending);
+        self.pending = 0;
+    }
+}
+
+impl Drop for LocalCount<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_counts_merge_on_drop() {
+        let cell = CounterCell::new();
+        {
+            let mut a = LocalCount::new(&cell);
+            let mut b = LocalCount::new(&cell);
+            a.add(3);
+            b.bump();
+            b.bump();
+            // nothing merged while the shards are alive
+            assert_eq!(cell.get(), 0);
+        }
+        assert_eq!(cell.get(), 5);
+    }
+
+    #[test]
+    fn explicit_flush_resets_pending() {
+        let cell = CounterCell::new();
+        let mut l = LocalCount::new(&cell);
+        l.add(7);
+        l.flush();
+        assert_eq!(cell.get(), 7);
+        drop(l); // second flush adds nothing
+        assert_eq!(cell.get(), 7);
+    }
+
+    #[test]
+    fn shards_from_many_threads() {
+        let cell = CounterCell::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut l = LocalCount::new(&cell);
+                    for _ in 0..1000 {
+                        l.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.get(), 8000);
+    }
+}

@@ -20,7 +20,11 @@ fn main() {
 
     // (1) base-solution diversity
     let bases: Vec<_> = (0..4)
-        .map(|i| Plp::with_seed(i as u64 + 1).detect(&graph))
+        .map(|i| {
+            let mut plp = Plp::new();
+            plp.set_seed(i as u64 + 1);
+            plp.detect(&graph)
+        })
         .collect();
     println!("PLP base-solution diversity (Jaccard dissimilarity):");
     for i in 0..bases.len() {

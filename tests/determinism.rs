@@ -47,11 +47,15 @@ fn all_generators_are_seed_deterministic() {
 #[test]
 fn sequential_algorithms_reproduce_exactly() {
     let (g, _) = lfr(LfrParams::benchmark(500, 0.4), 7);
-    let a = Louvain::with_seed(11).detect(&g);
-    let b = Louvain::with_seed(11).detect(&g);
+    let seeded = |mut algo: Box<dyn CommunityDetector>| {
+        algo.set_seed(11);
+        algo.detect(&g)
+    };
+    let a = seeded(Box::new(Louvain::new()));
+    let b = seeded(Box::new(Louvain::new()));
     assert_eq!(a.as_slice(), b.as_slice());
-    let a = Rg::with_seed(11).detect(&g);
-    let b = Rg::with_seed(11).detect(&g);
+    let a = seeded(Box::new(Rg::new()));
+    let b = seeded(Box::new(Rg::new()));
     assert_eq!(a.as_slice(), b.as_slice());
 }
 
@@ -59,8 +63,13 @@ fn sequential_algorithms_reproduce_exactly() {
 fn parallel_algorithms_are_deterministic_single_threaded() {
     let (g, _) = lfr(LfrParams::benchmark(500, 0.4), 8);
     with_threads(1, || {
-        let a = Plp::with_seed(5).detect(&g);
-        let b = Plp::with_seed(5).detect(&g);
+        let seeded_plp = || {
+            let mut plp = Plp::new();
+            plp.set_seed(5);
+            plp
+        };
+        let a = seeded_plp().detect(&g);
+        let b = seeded_plp().detect(&g);
         assert_eq!(
             a.as_slice(),
             b.as_slice(),

@@ -80,7 +80,9 @@ fn epp_improves_on_single_plp_with_noise() {
     let mut improvements = 0;
     for seed in [1u64, 2, 3] {
         let (g, _) = lfr(LfrParams::benchmark(2_000, 0.55), 50 + seed);
-        let q_plp = modularity(&g, &Plp::with_seed(seed).detect(&g));
+        let mut plp = Plp::new();
+        plp.set_seed(seed);
+        let q_plp = modularity(&g, &plp.detect(&g));
         let q_epp = modularity(&g, &Epp::plp_plm(4).detect(&g));
         if q_epp > q_plp {
             improvements += 1;
@@ -107,15 +109,22 @@ fn quality_ordering_plp_epp_plm() {
 fn plp_threshold_cuts_iterations_without_quality_loss() {
     // §III-A: θ = n·1e-5 versus exact convergence
     let (g, _) = lfr(LfrParams::benchmark(5_000, 0.4), 61);
+    let iterations_of = |report: &parcom::community::RunReport| {
+        report
+            .phase("label-propagation")
+            .and_then(|p| p.counter("iterations"))
+            .expect("PLP report carries the iteration count")
+    };
     let mut exact = Plp {
         theta_fraction: 0.0,
         ..Plp::default()
     };
-    let q_exact = modularity(&g, &exact.detect(&g));
-    let iters_exact = exact.last_stats.iterations();
-    let mut thresh = Plp::new();
-    let q_thresh = modularity(&g, &thresh.detect(&g));
-    let iters_thresh = thresh.last_stats.iterations();
+    let (zeta_exact, report_exact) = exact.detect_with_report(&g);
+    let q_exact = modularity(&g, &zeta_exact);
+    let iters_exact = iterations_of(&report_exact);
+    let (zeta_thresh, report_thresh) = Plp::new().detect_with_report(&g);
+    let q_thresh = modularity(&g, &zeta_thresh);
+    let iters_thresh = iterations_of(&report_thresh);
     assert!(iters_thresh <= iters_exact);
     assert!(
         q_thresh > q_exact - 0.03,
