@@ -2,13 +2,23 @@
 //! PLM move phase, parallel coarsening, PLP end-to-end, and the djb2
 //! ensemble combine. These are the operations the paper's implementation
 //! notes single out (§III-B: Δmod evaluation and coarsening dominate PLM).
+//!
+//! The `aggregation-kernel` group isolates the innermost operation of all
+//! the label/move kernels — tally edge weight per neighbor community, then
+//! arg-max — and compares the `FxHashMap` formulation against the
+//! generation-stamped [`SparseWeightMap`] scratch on a 100k-node graph, in
+//! the two regimes that bracket real runs: singleton labels (every neighbor
+//! a distinct key, the move phase's first sweep) and converged labels (few
+//! distinct keys per neighborhood).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parcom_bench::kernels::{tally_pass_fxhash, tally_pass_scratch};
 use parcom_core::combine::core_communities;
 use parcom_core::quality::modularity;
 use parcom_core::{move_phase, CommunityDetector, Plm, Plp};
-use parcom_generators::{lfr, LfrParams};
-use parcom_graph::{coarsen, Partition};
+use parcom_generators::{barabasi_albert, lfr, LfrParams};
+use parcom_graph::hashing::FxHashMap;
+use parcom_graph::{coarsen, Partition, SparseWeightMap};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -58,5 +68,52 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+fn bench_aggregation_kernel(c: &mut Criterion) {
+    // 100k-node scale-free graph: the degree skew the paper's instances have
+    let g = barabasi_albert(100_000, 8, 42);
+    let singleton: Vec<u32> = (0..g.node_count() as u32).collect(); // audit:allow(lossy-cast): bounded by the u32 node id space
+    let mut converged = Plm::new().detect(&g);
+    converged.compact();
+    let k = converged.upper_bound() as usize;
+
+    let mut group = c.benchmark_group("aggregation-kernel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    // sanity: both formulations pick identical arg-max labels
+    {
+        let mut h = FxHashMap::default();
+        let mut s = SparseWeightMap::with_capacity(g.node_count());
+        assert_eq!(
+            tally_pass_fxhash(&g, &singleton, &mut h),
+            tally_pass_scratch(&g, &singleton, &mut s),
+        );
+        assert_eq!(
+            tally_pass_fxhash(&g, converged.as_slice(), &mut h),
+            tally_pass_scratch(&g, converged.as_slice(), &mut s),
+        );
+    }
+
+    group.bench_function("tally_fxhash_singleton_100k", |b| {
+        let mut weight_to = FxHashMap::default();
+        b.iter(|| black_box(tally_pass_fxhash(&g, &singleton, &mut weight_to)))
+    });
+    group.bench_function("tally_scratch_singleton_100k", |b| {
+        let mut weight_to = SparseWeightMap::with_capacity(g.node_count());
+        b.iter(|| black_box(tally_pass_scratch(&g, &singleton, &mut weight_to)))
+    });
+    group.bench_function("tally_fxhash_converged_100k", |b| {
+        let mut weight_to = FxHashMap::default();
+        b.iter(|| black_box(tally_pass_fxhash(&g, converged.as_slice(), &mut weight_to)))
+    });
+    group.bench_function("tally_scratch_converged_100k", |b| {
+        let mut weight_to = SparseWeightMap::with_capacity(k.max(1));
+        b.iter(|| black_box(tally_pass_scratch(&g, converged.as_slice(), &mut weight_to)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_aggregation_kernel);
 criterion_main!(benches);

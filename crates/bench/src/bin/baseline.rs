@@ -1,0 +1,181 @@
+//! `baseline` — a fixed, reproducible perf baseline for the hot kernels.
+//!
+//! Runs PLP and PLM on two fixed generated instances (fixed seeds, fixed
+//! algorithm seeds) and times one pass of the neighborhood-aggregation
+//! microkernel in both formulations (hash map vs generation-stamped
+//! scratch) on each graph. Results go to `BENCH_kernels.json` (schema
+//! `parcom-bench-kernels/v1`) together with each run's structured
+//! [`RunReport`]; a human-readable summary goes to stderr.
+//!
+//! Reproduce with:
+//!
+//! ```text
+//! cargo run --release -p parcom-bench --bin baseline
+//! cargo run --release -p parcom-bench --bin baseline -- --out target/BENCH_kernels.json
+//! ```
+
+use parcom_bench::harness::{run_measured, Measurement};
+use parcom_bench::kernels::{tally_pass_fxhash, tally_pass_scratch};
+use parcom_bench::time;
+use parcom_core::{CommunityDetector, Plm, Plp};
+use parcom_generators::{lfr, rmat, LfrParams, RmatParams};
+use parcom_graph::hashing::FxHashMap;
+use parcom_graph::{Graph, SparseWeightMap};
+use parcom_obs::json;
+
+/// Schema tag of the emitted JSON document.
+const SCHEMA: &str = "parcom-bench-kernels/v1";
+/// Seed of both instance generators and (offset by algorithm) the runs.
+const SEED: u64 = 42;
+/// Repetitions of each microkernel pass; the minimum is reported.
+const KERNEL_REPS: usize = 3;
+
+/// Timings of one aggregation-kernel comparison on one graph.
+struct KernelTiming {
+    fxhash_ms: f64,
+    scratch_ms: f64,
+}
+
+/// Everything measured on one instance.
+struct InstanceResult {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    kernel: KernelTiming,
+    runs: Vec<Measurement>,
+}
+
+/// Minimum wall time of `reps` executions, in milliseconds.
+fn min_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, t) = time(&mut f);
+        best = best.min(t.as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Times one tally + arg-max pass in both formulations, asserting they
+/// choose identical labels (singleton labels: worst case for hashing).
+fn kernel_timing(g: &Graph) -> KernelTiming {
+    let labels: Vec<u32> = g.nodes().collect();
+    let mut h = FxHashMap::default();
+    let mut s = SparseWeightMap::with_capacity(g.node_count());
+    assert_eq!(
+        tally_pass_fxhash(g, &labels, &mut h),
+        tally_pass_scratch(g, &labels, &mut s),
+        "hash and scratch formulations diverged"
+    );
+    KernelTiming {
+        fxhash_ms: min_ms(KERNEL_REPS, || tally_pass_fxhash(g, &labels, &mut h)),
+        scratch_ms: min_ms(KERNEL_REPS, || tally_pass_scratch(g, &labels, &mut s)),
+    }
+}
+
+fn measure_instance(name: &str, g: &Graph) -> InstanceResult {
+    eprintln!(
+        "[baseline] {name}: n={} m={}",
+        g.node_count(),
+        g.edge_count()
+    );
+    let kernel = kernel_timing(g);
+    eprintln!(
+        "[baseline]   kernel tally: fxhash {:.3} ms, scratch {:.3} ms ({:.2}x)",
+        kernel.fxhash_ms,
+        kernel.scratch_ms,
+        kernel.fxhash_ms / kernel.scratch_ms.max(1e-9)
+    );
+    let mut algorithms: Vec<Box<dyn CommunityDetector>> =
+        vec![Box::new(Plp::new()), Box::new(Plm::new())];
+    let mut runs = Vec::new();
+    for algo in &mut algorithms {
+        algo.set_seed(1);
+        let (_, m) = run_measured(algo.as_mut(), g, name);
+        eprintln!(
+            "[baseline]   {}: {:.3} s, modularity {:.4}, {} communities",
+            m.algorithm,
+            m.time.as_secs_f64(),
+            m.modularity,
+            m.communities
+        );
+        runs.push(m);
+    }
+    InstanceResult {
+        name: name.to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        kernel,
+        runs,
+    }
+}
+
+fn write_instance(out: &mut String, r: &InstanceResult) {
+    out.push_str("{\"name\":");
+    json::write_str(out, &r.name);
+    out.push_str(&format!(",\"nodes\":{},\"edges\":{}", r.nodes, r.edges));
+    out.push_str(",\"kernel\":{\"fxhash_ms\":");
+    json::write_f64(out, r.kernel.fxhash_ms);
+    out.push_str(",\"scratch_ms\":");
+    json::write_f64(out, r.kernel.scratch_ms);
+    out.push_str(",\"speedup\":");
+    json::write_f64(out, r.kernel.fxhash_ms / r.kernel.scratch_ms.max(1e-9));
+    out.push_str("},\"runs\":[");
+    for (i, m) in r.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"algorithm\":");
+        json::write_str(out, &m.algorithm);
+        out.push_str(",\"seconds\":");
+        json::write_f64(out, m.time.as_secs_f64());
+        out.push_str(",\"modularity\":");
+        json::write_f64(out, m.modularity);
+        out.push_str(&format!(",\"communities\":{}", m.communities));
+        out.push_str(",\"report\":");
+        out.push_str(&m.report.to_json());
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().expect("--out requires a path argument");
+            }
+            other => {
+                eprintln!("usage: baseline [--out <path>]");
+                panic!("unrecognized argument `{other}`");
+            }
+        }
+    }
+
+    // Two fixed instances bracketing the paper's corpus: a planted-community
+    // LFR graph and a skewed-degree R-MAT graph (scale 15, edge factor 16).
+    let (lfr_graph, _) = lfr(LfrParams::benchmark(20_000, 0.3), SEED);
+    let rmat_graph = rmat(RmatParams::paper_with_edge_factor(15, 16), SEED);
+    let results = [
+        measure_instance("lfr_20k_mu03", &lfr_graph),
+        measure_instance("rmat_s15_ef16", &rmat_graph),
+    ];
+
+    let mut doc = String::with_capacity(4096);
+    doc.push_str("{\"schema\":");
+    json::write_str(&mut doc, SCHEMA);
+    doc.push_str(&format!(",\"seed\":{SEED},\"instances\":["));
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        write_instance(&mut doc, r);
+    }
+    doc.push_str("]}");
+    if let Err(e) = json::validate(&doc) {
+        panic!("emitted malformed JSON: {e}");
+    }
+    std::fs::write(&out_path, &doc).expect("writing the baseline report failed");
+    eprintln!("[baseline] wrote {out_path}");
+}

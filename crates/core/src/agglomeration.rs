@@ -7,7 +7,7 @@
 //! execution with neighbor-map rewiring.
 
 use parcom_graph::hashing::FxHashMap;
-use parcom_graph::{Graph, Partition};
+use parcom_graph::{Graph, Partition, SparseWeightMap};
 
 /// Mutable state of an agglomeration over the communities of a graph.
 pub struct MergeState {
@@ -36,16 +36,27 @@ impl MergeState {
     /// Initializes with every node of `g` as its own community.
     pub fn new(g: &Graph, gamma: f64) -> Self {
         let n = g.node_count();
-        let mut between: Vec<FxHashMap<u32, f64>> = vec![FxHashMap::default(); n];
+        // Initial community ids are node ids — dense 0..n — so each node's
+        // neighbor weights are tallied in one generation-stamped scratch
+        // pass, then frozen into an exactly-sized hash map (the long-lived
+        // `between` structure keeps hashing: after merges survivors hold
+        // sparse subsets of an id space that never recompacts).
+        let mut between: Vec<FxHashMap<u32, f64>> = Vec::with_capacity(n);
         let mut intra = vec![0.0; n];
-        g.for_edges(|u, v, w| {
-            if u == v {
-                intra[u as usize] += w;
-            } else {
-                *between[u as usize].entry(v).or_insert(0.0) += w;
-                *between[v as usize].entry(u).or_insert(0.0) += w;
+        let mut scratch = SparseWeightMap::with_capacity(n);
+        for u in g.nodes() {
+            scratch.clear();
+            for (v, w) in g.edges_of(u) {
+                if v == u {
+                    intra[u as usize] += w;
+                } else {
+                    scratch.add(v, w);
+                }
             }
-        });
+            let mut m = FxHashMap::with_capacity_and_hasher(scratch.len(), Default::default());
+            m.extend(scratch.iter());
+            between.push(m);
+        }
         Self {
             total: g.total_edge_weight(),
             gamma,

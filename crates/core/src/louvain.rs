@@ -9,8 +9,7 @@
 
 use crate::algorithm::CommunityDetector;
 use crate::quality::delta_modularity;
-use parcom_graph::hashing::FxHashMap;
-use parcom_graph::{coarsen, Graph, Partition};
+use parcom_graph::{coarsen, Graph, Partition, SparseWeightMap};
 use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
 
 /// The sequential Louvain baseline.
@@ -52,8 +51,15 @@ impl Louvain {
         }
     }
 
-    /// One sequential move phase; returns the number of moves.
-    fn sequential_move_phase(&self, g: &Graph, zeta: &mut Partition, rng: &mut SmallRng) -> u64 {
+    /// One sequential move phase; returns the number of moves. `scratch`
+    /// is the caller-owned weight tally, reused across sweeps and levels.
+    fn sequential_move_phase(
+        &self,
+        g: &Graph,
+        zeta: &mut Partition,
+        rng: &mut SmallRng,
+        scratch: &mut SparseWeightMap,
+    ) -> u64 {
         let n = g.node_count();
         let total = g.total_edge_weight();
         if n == 0 || total == 0.0 {
@@ -67,7 +73,7 @@ impl Louvain {
         }
 
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut weight_to: FxHashMap<u32, f64> = FxHashMap::default();
+        scratch.ensure_capacity(k.max(1));
         let mut total_moves = 0u64;
         for _ in 0..self.max_sweeps {
             order.shuffle(rng);
@@ -76,20 +82,20 @@ impl Louvain {
                 if g.degree(u) == 0 {
                     continue;
                 }
-                weight_to.clear();
+                scratch.clear();
                 for (v, w) in g.edges_of(u) {
                     if v != u {
-                        *weight_to.entry(zeta.subset_of(v)).or_insert(0.0) += w;
+                        scratch.add(zeta.subset_of(v), w);
                     }
                 }
                 let c = zeta.subset_of(u);
                 let vol_u = g.volume(u);
-                let weight_to_c = weight_to.get(&c).copied().unwrap_or(0.0);
+                let weight_to_c = scratch.get(c);
                 let vol_c_without_u = volumes[c as usize] - vol_u;
 
                 let mut best_delta = 0.0;
                 let mut best = c;
-                for (&d, &w_d) in weight_to.iter() {
+                for (d, w_d) in scratch.iter() {
                     if d == c {
                         continue;
                     }
@@ -102,7 +108,11 @@ impl Louvain {
                         total,
                         self.gamma,
                     );
-                    if delta > best_delta {
+                    // Strictly-better wins; exact Δmod ties break to the
+                    // smallest community id so the decision is independent
+                    // of tally iteration order (the hash-map version
+                    // inherited the map's arbitrary order here).
+                    if delta > best_delta || (delta == best_delta && best != c && d < best) {
                         best_delta = delta;
                         best = d;
                     }
@@ -122,13 +132,19 @@ impl Louvain {
         total_moves
     }
 
-    fn run_recursive(&self, g: &Graph, depth: usize, rng: &mut SmallRng) -> Partition {
+    fn run_recursive(
+        &self,
+        g: &Graph,
+        depth: usize,
+        rng: &mut SmallRng,
+        scratch: &mut SparseWeightMap,
+    ) -> Partition {
         let mut zeta = Partition::singleton(g.node_count());
-        let moves = self.sequential_move_phase(g, &mut zeta, rng);
+        let moves = self.sequential_move_phase(g, &mut zeta, rng, scratch);
         if moves > 0 && depth < self.max_levels {
             let contraction = coarsen(g, &zeta);
             if contraction.coarse.node_count() < g.node_count() {
-                let coarse = self.run_recursive(&contraction.coarse, depth + 1, rng);
+                let coarse = self.run_recursive(&contraction.coarse, depth + 1, rng, scratch);
                 zeta = contraction.prolong(&coarse);
             }
         }
@@ -143,7 +159,10 @@ impl CommunityDetector for Louvain {
 
     fn detect(&mut self, g: &Graph) -> Partition {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut zeta = self.run_recursive(g, 0, &mut rng);
+        // One scratch map for the whole hierarchy: level 0 sizes it (k = n
+        // singleton communities), coarser levels reuse it as-is.
+        let mut scratch = SparseWeightMap::with_capacity(g.node_count().max(1));
+        let mut zeta = self.run_recursive(g, 0, &mut rng, &mut scratch);
         zeta.compact();
         zeta
     }
@@ -179,8 +198,9 @@ mod tests {
         let mut zeta = Partition::singleton(g.node_count());
         let louvain = Louvain::new();
         let mut rng = SmallRng::seed_from_u64(3);
+        let mut scratch = SparseWeightMap::new();
         let before = modularity(&g, &zeta);
-        louvain.sequential_move_phase(&g, &mut zeta, &mut rng);
+        louvain.sequential_move_phase(&g, &mut zeta, &mut rng, &mut scratch);
         let after = modularity(&g, &zeta);
         assert!(after >= before - 1e-12, "{after} < {before}");
     }

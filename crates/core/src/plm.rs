@@ -18,8 +18,7 @@
 
 use crate::algorithm::CommunityDetector;
 use crate::quality::delta_modularity;
-use parcom_graph::hashing::FxHashMap;
-use parcom_graph::{coarsen_with, AtomicF64, AtomicPartition, Graph, Partition};
+use parcom_graph::{coarsen_with, AtomicF64, AtomicPartition, Graph, Partition, ScratchPool};
 use parcom_obs::{CounterCell, LocalCount, Recorder, RunReport};
 use rayon::prelude::*;
 
@@ -107,6 +106,7 @@ impl Plm {
         depth: usize,
         stats: &mut PlmStats,
         rec: &Recorder,
+        scratch: &ScratchPool,
     ) -> Partition {
         // The whole level — including the recursion into coarser levels —
         // runs inside one `level-{depth}` span, so the report mirrors the
@@ -118,7 +118,14 @@ impl Plm {
         let mut zeta = Partition::singleton(g.node_count());
         let moves = {
             let span = rec.span("move-phase");
-            let moves = move_phase_with(g, &mut zeta, self.gamma, self.max_move_iterations, rec);
+            let moves = move_phase_pooled(
+                g,
+                &mut zeta,
+                self.gamma,
+                self.max_move_iterations,
+                rec,
+                scratch,
+            );
             span.counter("moves", moves);
             moves
         };
@@ -128,12 +135,19 @@ impl Plm {
             let contraction = coarsen_with(g, &zeta, rec);
             // progress guard: recursion must strictly shrink the graph
             if contraction.coarse.node_count() < g.node_count() {
-                let coarse_zeta = self.run_recursive(&contraction.coarse, depth + 1, stats, rec);
+                let coarse_zeta =
+                    self.run_recursive(&contraction.coarse, depth + 1, stats, rec, scratch);
                 zeta = contraction.prolong(&coarse_zeta);
                 if self.refine {
                     let span = rec.span("refine");
-                    let refine_moves =
-                        move_phase_with(g, &mut zeta, self.gamma, self.max_move_iterations, rec);
+                    let refine_moves = move_phase_pooled(
+                        g,
+                        &mut zeta,
+                        self.gamma,
+                        self.max_move_iterations,
+                        rec,
+                        scratch,
+                    );
                     span.counter("moves", refine_moves);
                     if let Some(m) = stats.moves_per_level.get_mut(depth) {
                         *m += refine_moves;
@@ -146,7 +160,11 @@ impl Plm {
 
     fn run(&mut self, g: &Graph, rec: &Recorder) -> Partition {
         let mut stats = PlmStats::default();
-        let mut zeta = self.run_recursive(g, 0, &mut stats, rec);
+        // One pool for the whole hierarchy: each worker's scratch map is
+        // allocated at the level-0 community count and recycled by every
+        // sweep of every level below (coarser levels only need less).
+        let scratch = ScratchPool::new();
+        let mut zeta = self.run_recursive(g, 0, &mut stats, rec, &scratch);
         #[allow(deprecated)]
         {
             self.last_stats = stats;
@@ -226,6 +244,20 @@ pub fn move_phase_with(
     max_iterations: usize,
     rec: &Recorder,
 ) -> u64 {
+    move_phase_pooled(g, zeta, gamma, max_iterations, rec, &ScratchPool::new())
+}
+
+/// [`move_phase_with`] drawing per-thread scratch maps from `scratch`
+/// instead of allocating them — the entry point PLM uses so one pool
+/// serves every sweep of every hierarchy level.
+fn move_phase_pooled(
+    g: &Graph,
+    zeta: &mut Partition,
+    gamma: f64,
+    max_iterations: usize,
+    rec: &Recorder,
+    scratch: &ScratchPool,
+) -> u64 {
     let n = g.node_count();
     if n == 0 {
         return 0;
@@ -238,10 +270,29 @@ pub fn move_phase_with(
     let k = zeta.upper_bound() as usize;
 
     let labels = AtomicPartition::from_partition(zeta);
-    let volumes: Vec<AtomicF64> = (0..k.max(1)).map(|_| AtomicF64::new(0.0)).collect();
-    for u in g.nodes() {
-        volumes[zeta.subset_of(u) as usize].fetch_add(g.volume(u));
-    }
+    // Per-thread dense accumulators merged once, instead of one shared
+    // atomic array written n times from a sequential loop.
+    let volumes: Vec<AtomicF64> = g
+        .par_nodes()
+        .fold(
+            || vec![0.0f64; k.max(1)],
+            |mut acc, u| {
+                acc[zeta.subset_of(u) as usize] += g.volume(u);
+                acc
+            },
+        )
+        .reduce(
+            || vec![0.0f64; k.max(1)],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+        .into_iter()
+        .map(AtomicF64::new)
+        .collect();
 
     let mut total_moves = 0u64;
     for _ in 0..max_iterations {
@@ -249,7 +300,7 @@ pub fn move_phase_with(
         // merge into the cell when their state drops at the sweep's end.
         let moves = CounterCell::new();
         g.par_nodes().for_each_init(
-            || (FxHashMap::<u32, f64>::default(), LocalCount::new(&moves)),
+            || (scratch.take(k.max(1)), LocalCount::new(&moves)),
             |(weight_to, local_moves), u| {
                 if g.degree(u) == 0 {
                     return;
@@ -257,17 +308,19 @@ pub fn move_phase_with(
                 weight_to.clear();
                 for (v, w) in g.edges_of(u) {
                     if v != u {
-                        *weight_to.entry(labels.get(v)).or_insert(0.0) += w;
+                        // labels are always ids the compacted input
+                        // partition contained, so they index the scratch map
+                        weight_to.add(labels.get(v), w);
                     }
                 }
                 let c = labels.get(u);
                 let vol_u = g.volume(u);
-                let weight_to_c = weight_to.get(&c).copied().unwrap_or(0.0);
+                let weight_to_c = weight_to.get(c);
                 let vol_c_without_u = volumes[c as usize].load() - vol_u;
 
                 let mut best_delta = 0.0;
                 let mut best_community = c;
-                for (&d, &weight_to_d) in weight_to.iter() {
+                for (d, weight_to_d) in weight_to.iter() {
                     if d == c {
                         continue;
                     }

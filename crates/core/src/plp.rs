@@ -15,8 +15,7 @@
 //! the ensemble setting.
 
 use crate::algorithm::CommunityDetector;
-use parcom_graph::hashing::FxHashMap;
-use parcom_graph::{AtomicPartition, Graph, Node, Partition};
+use parcom_graph::{AtomicPartition, Graph, Node, Partition, ScratchPool};
 use parcom_obs::{CounterCell, LocalCount, Recorder, RunReport};
 use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
 use rayon::prelude::*;
@@ -185,6 +184,15 @@ impl Plp {
         let threads = rayon::current_num_threads();
         let shuffle = self.explicit_randomization || threads <= 1 || n < 64 * threads;
 
+        // Labels are node ids (or ids of the initial assignment), so the
+        // per-thread scratch maps tallying weight-per-label are indexed by
+        // that upper bound; the pool recycles them across iterations.
+        let label_bound = match initial {
+            Some(p) => p.upper_bound().max(n as u32),
+            None => n as u32,
+        } as usize;
+        let scratch = ScratchPool::new();
+
         let span = rec.span("label-propagation");
         for _iter in 0..self.max_iterations {
             if shuffle {
@@ -201,7 +209,7 @@ impl Plp {
 
             let iter_salt = self.seed ^ ((stats.iterations() as u64 + 1) << 32);
             order.par_iter().for_each_init(
-                || (FxHashMap::<u32, f64>::default(), LocalCount::new(&updated)),
+                || (scratch.take(label_bound.max(1)), LocalCount::new(&updated)),
                 |(weight_to, local_updates), &v| {
                     if g.degree(v) == 0 || !active[v as usize].load(Ordering::Relaxed) {
                         return;
@@ -209,7 +217,7 @@ impl Plp {
                     weight_to.clear();
                     for (u, w) in g.edges_of(v) {
                         if u != v {
-                            *weight_to.entry(labels.get(u)).or_insert(0.0) += w;
+                            weight_to.add(labels.get(u), w);
                         }
                     }
                     let current = labels.get(v);
@@ -221,9 +229,9 @@ impl Plp {
                     // across community bridges.
                     let salt = iter_salt ^ splitmix64(v as u64);
                     let mut best = current;
-                    let mut best_weight = weight_to.get(&current).copied().unwrap_or(0.0);
+                    let mut best_weight = weight_to.get(current);
                     let mut best_hash = u64::MAX; // current label: unbeatable on ties
-                    for (&l, &w) in weight_to.iter() {
+                    for (l, w) in weight_to.iter() {
                         if w > best_weight {
                             best = l;
                             best_weight = w;

@@ -14,6 +14,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, Node};
+use crate::hashing::FxHashMap;
 use crate::partition::Partition;
 use parcom_obs::Recorder;
 use rayon::prelude::*;
@@ -69,10 +70,16 @@ pub fn coarsen_with(g: &Graph, zeta: &Partition, rec: &Recorder) -> Coarsening {
     assert_eq!(zeta.len(), g.node_count());
     let span = rec.span("coarsen");
 
-    // Dense community ids without mutating the caller's partition.
-    let mut compacted = zeta.clone();
-    let k = compacted.compact();
-    let fine_to_coarse: Vec<Node> = compacted.as_slice().to_vec();
+    // Dense community ids in first-seen order (the renumbering `compact`
+    // applies), written straight into the mapping vector — no clone of the
+    // caller's partition, no rewrite of its assignment array.
+    let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut fine_to_coarse: Vec<Node> = Vec::with_capacity(zeta.len());
+    for &c in zeta.as_slice() {
+        let next = remap.len() as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
+        fine_to_coarse.push(*remap.entry(c).or_insert(next));
+    }
+    let k = remap.len();
 
     // Each undirected fine edge once, mapped to a canonical coarse pair.
     // rayon's fold gives the per-thread partial edge lists of the paper's

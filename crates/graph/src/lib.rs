@@ -17,6 +17,9 @@
 //! * [`coarsening`] — the parallel coarsening scheme of §III-B: contract a
 //!   graph according to a partition, folding intra-community weight into
 //!   self-loops.
+//! * [`scratch`] — generation-stamped flat scratch maps ([`SparseWeightMap`])
+//!   replacing hash maps in the label/move kernels' neighborhood
+//!   aggregation, with a pool ([`ScratchPool`]) for per-thread reuse.
 //! * Analytics used by the experiments: connected components, local
 //!   clustering coefficients, degree statistics (Table I columns).
 //!
@@ -33,6 +36,7 @@ pub mod graph;
 pub mod hashing;
 pub mod parallel;
 pub mod partition;
+pub mod scratch;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
@@ -44,6 +48,7 @@ pub use coarsening::{coarsen, coarsen_with, Coarsening};
 pub use cores::CoreDecomposition;
 pub use graph::{Graph, Node};
 pub use partition::{AtomicPartition, Partition};
+pub use scratch::{ScratchPool, SparseWeightMap};
 pub use subgraph::{induced_subgraph, largest_component_subgraph, Subgraph};
 
 /// Commonly used items, for glob import.
@@ -52,4 +57,5 @@ pub mod prelude {
     pub use crate::coarsening::{coarsen, coarsen_with, Coarsening};
     pub use crate::graph::{Graph, Node};
     pub use crate::partition::{AtomicPartition, Partition};
+    pub use crate::scratch::{ScratchPool, SparseWeightMap};
 }
