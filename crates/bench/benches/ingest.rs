@@ -1,0 +1,80 @@
+//! Graph-ingest microbenchmarks: the chunked byte parsers + parallel CSR
+//! assembly (DESIGN.md §10) against the retained sequential references,
+//! for both on-disk formats, plus the CSR build in isolation. In-memory
+//! buffers keep the page cache out of the measurement — this times
+//! parsing and assembly, not disk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parcom_generators::barabasi_albert;
+use parcom_graph::GraphBuilder;
+use parcom_io::edgelist::{read_edge_list_bytes, read_edge_list_seq};
+use parcom_io::metis::{read_metis_bytes, read_metis_seq, write_metis_to};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ingest(c: &mut Criterion) {
+    // ~160k-edge scale-free instance: big enough that per-line allocation
+    // shows, small enough for criterion's sampling
+    let g = barabasi_albert(10_000, 16, 42);
+    let mut metis_buf: Vec<u8> = Vec::new();
+    write_metis_to(&g, &mut metis_buf).unwrap();
+    let mut edges_buf: Vec<u8> = Vec::new();
+    parcom_io::edgelist::write_edge_list_to(&g, &mut edges_buf).unwrap();
+
+    let mut group = c.benchmark_group("ingest");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("metis_seq_10k", |b| {
+        b.iter(|| black_box(read_metis_seq(&metis_buf).unwrap()))
+    });
+    group.bench_function("metis_parallel_10k", |b| {
+        b.iter(|| black_box(read_metis_bytes(&metis_buf).unwrap()))
+    });
+    group.bench_function("edgelist_seq_10k", |b| {
+        b.iter(|| black_box(read_edge_list_seq(&edges_buf).unwrap()))
+    });
+    group.bench_function("edgelist_parallel_10k", |b| {
+        b.iter(|| black_box(read_edge_list_bytes(&edges_buf).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    // CSR assembly in isolation, on the raw edge multiset of the same graph
+    let g = barabasi_albert(10_000, 16, 42);
+    let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(g.edge_count());
+    g.for_edges(|u, v, w| edges.push((u, v, w)));
+    let n = g.node_count();
+
+    let mut group = c.benchmark_group("csr-build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("build_reference_10k", |b| {
+        b.iter(|| {
+            let mut bld = GraphBuilder::with_capacity(n, edges.len());
+            for &(u, v, w) in &edges {
+                bld.add_edge(u, v, w);
+            }
+            black_box(bld.build_reference())
+        })
+    });
+    group.bench_function("build_parallel_10k", |b| {
+        b.iter(|| {
+            let mut bld = GraphBuilder::with_capacity(n, edges.len());
+            for &(u, v, w) in &edges {
+                bld.add_edge(u, v, w);
+            }
+            black_box(bld.build())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_build);
+criterion_main!(benches);

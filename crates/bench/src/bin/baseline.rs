@@ -3,9 +3,12 @@
 //! Runs PLP and PLM on two fixed generated instances (fixed seeds, fixed
 //! algorithm seeds) and times one pass of the neighborhood-aggregation
 //! microkernel in both formulations (hash map vs generation-stamped
-//! scratch) on each graph. Results go to `BENCH_kernels.json` (schema
-//! `parcom-bench-kernels/v1`) together with each run's structured
-//! [`RunReport`]; a human-readable summary goes to stderr.
+//! scratch) on each graph, plus end-to-end graph ingest (METIS parse +
+//! CSR build) on a ~1M-edge instance: the retained sequential reference
+//! path against the chunked parallel pipeline. Results go to
+//! `BENCH_kernels.json` (schema `parcom-bench-kernels/v2`) together with
+//! each run's structured [`RunReport`]; a human-readable summary goes to
+//! stderr.
 //!
 //! Reproduce with:
 //!
@@ -18,13 +21,13 @@ use parcom_bench::harness::{run_measured, Measurement};
 use parcom_bench::kernels::{tally_pass_fxhash, tally_pass_scratch};
 use parcom_bench::time;
 use parcom_core::{CommunityDetector, Plm, Plp};
-use parcom_generators::{lfr, rmat, LfrParams, RmatParams};
+use parcom_generators::{barabasi_albert, lfr, rmat, LfrParams, RmatParams};
 use parcom_graph::hashing::FxHashMap;
 use parcom_graph::{Graph, SparseWeightMap};
-use parcom_obs::json;
+use parcom_obs::{json, Recorder};
 
 /// Schema tag of the emitted JSON document.
-const SCHEMA: &str = "parcom-bench-kernels/v1";
+const SCHEMA: &str = "parcom-bench-kernels/v2";
 /// Seed of both instance generators and (offset by algorithm) the runs.
 const SEED: u64 = 42;
 /// Repetitions of each microkernel pass; the minimum is reported.
@@ -109,6 +112,97 @@ fn measure_instance(name: &str, g: &Graph) -> InstanceResult {
     }
 }
 
+/// End-to-end ingest comparison on one ~1M-edge METIS buffer.
+struct IngestResult {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    bytes: usize,
+    /// Retained pre-parallel path: `String` per line + sequential assembly.
+    seq_ms: f64,
+    /// Chunked byte parser + parallel CSR build, end to end.
+    par_ms: f64,
+    /// Parse-phase share of the parallel path (from `ingest/parse`).
+    par_parse_ms: f64,
+    /// Build-phase share of the parallel path (from `ingest/build`).
+    par_build_ms: f64,
+}
+
+/// Measures METIS ingest (parse + CSR build) on a ~1M-edge BA graph:
+/// the retained sequential reference against the chunked pipeline, plus
+/// the parallel path's parse/build phase split via the recorded reader.
+fn measure_ingest() -> IngestResult {
+    use parcom_io::metis::{read_metis_bytes, read_metis_recorded, read_metis_seq, write_metis_to};
+
+    let name = "ba_65k_a16_metis";
+    let g = barabasi_albert(65_000, 16, SEED);
+    let mut buf: Vec<u8> = Vec::new();
+    write_metis_to(&g, &mut buf).expect("rendering the ingest instance failed");
+    eprintln!(
+        "[baseline] ingest {name}: n={} m={} ({} MiB)",
+        g.node_count(),
+        g.edge_count(),
+        buf.len() >> 20
+    );
+
+    // sanity: both paths produce the same graph before timing them
+    let a = read_metis_seq(&buf).expect("sequential ingest failed");
+    let b = read_metis_bytes(&buf).expect("parallel ingest failed");
+    assert_eq!(a.edge_count(), b.edge_count(), "ingest paths diverged");
+
+    let seq_ms = min_ms(KERNEL_REPS, || read_metis_seq(&buf).unwrap());
+    let par_ms = min_ms(KERNEL_REPS, || read_metis_bytes(&buf).unwrap());
+
+    // phase split of the parallel path via the recorded entry point
+    let path = std::env::temp_dir().join("parcom_baseline_ingest.metis");
+    std::fs::write(&path, &buf).expect("writing the ingest temp file failed");
+    let (mut par_parse_ms, mut par_build_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..KERNEL_REPS {
+        let rec = Recorder::enabled();
+        read_metis_recorded(&path, &rec).unwrap();
+        let report = rec.finish("ingest");
+        let phase_ms = |name: &str| report.phase(name).map_or(0.0, |p| p.wall_seconds * 1e3);
+        par_parse_ms = par_parse_ms.min(phase_ms("ingest/parse"));
+        par_build_ms = par_build_ms.min(phase_ms("ingest/build"));
+    }
+    std::fs::remove_file(&path).ok();
+
+    eprintln!(
+        "[baseline]   ingest: seq {seq_ms:.1} ms, parallel {par_ms:.1} ms ({:.2}x; parse {par_parse_ms:.1} + build {par_build_ms:.1})",
+        seq_ms / par_ms.max(1e-9)
+    );
+    IngestResult {
+        name: name.to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        bytes: buf.len(),
+        seq_ms,
+        par_ms,
+        par_parse_ms,
+        par_build_ms,
+    }
+}
+
+fn write_ingest(out: &mut String, r: &IngestResult) {
+    out.push_str("{\"name\":");
+    json::write_str(out, &r.name);
+    out.push_str(&format!(
+        ",\"nodes\":{},\"edges\":{},\"bytes\":{}",
+        r.nodes, r.edges, r.bytes
+    ));
+    out.push_str(",\"seq_ms\":");
+    json::write_f64(out, r.seq_ms);
+    out.push_str(",\"par_ms\":");
+    json::write_f64(out, r.par_ms);
+    out.push_str(",\"par_parse_ms\":");
+    json::write_f64(out, r.par_parse_ms);
+    out.push_str(",\"par_build_ms\":");
+    json::write_f64(out, r.par_build_ms);
+    out.push_str(",\"speedup\":");
+    json::write_f64(out, r.seq_ms / r.par_ms.max(1e-9));
+    out.push('}');
+}
+
 fn write_instance(out: &mut String, r: &InstanceResult) {
     out.push_str("{\"name\":");
     json::write_str(out, &r.name);
@@ -161,6 +255,7 @@ fn main() {
         measure_instance("lfr_20k_mu03", &lfr_graph),
         measure_instance("rmat_s15_ef16", &rmat_graph),
     ];
+    let ingest = measure_ingest();
 
     let mut doc = String::with_capacity(4096);
     doc.push_str("{\"schema\":");
@@ -172,7 +267,9 @@ fn main() {
         }
         write_instance(&mut doc, r);
     }
-    doc.push_str("]}");
+    doc.push_str("],\"ingest\":");
+    write_ingest(&mut doc, &ingest);
+    doc.push('}');
     if let Err(e) = json::validate(&doc) {
         panic!("emitted malformed JSON: {e}");
     }

@@ -13,7 +13,7 @@
 //! | `--algo NAME` | detect | `plp`, `plm`, `plmr`, `epp`, `eppr`, `eml`, `louvain`, `pam`, `cel`, `cnm`, `rg`, `cggc`, `cggci` |
 //! | `--threads N` | detect | run inside a pool of `N` workers (0 = the default pool) |
 //! | `--seed S` | generate, detect | seed applied uniformly via `CommunityDetector::set_seed` (default 1) |
-//! | `--report json` | detect | emit the structured `RunReport` as JSON on stdout; the human summary moves to stderr |
+//! | `--report json` | detect | emit the structured `RunReport` as JSON on stdout; the human summary moves to stderr. The report's leading phases are `ingest/parse` and `ingest/build` (graph file ingest timings, with `bytes`/`edges` counters), followed by the algorithm's own phases |
 //! | `--gamma X` | detect | PLM resolution parameter |
 //! | `--ensemble B` | detect | ensemble size for `epp`/`eppr`/`eml`/`cggc`/`cggci` |
 //! | `--out FILE` | generate, detect, cg | output file |

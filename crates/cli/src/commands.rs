@@ -15,14 +15,23 @@ type CmdResult = Result<(), Box<dyn Error>>;
 /// Reads a graph, dispatching on the file extension: `.metis`/`.graph` are
 /// METIS, everything else is treated as an edge list.
 fn load_graph(path: &str) -> Result<Graph, Box<dyn Error>> {
+    load_graph_recorded(path, &parcom_obs::Recorder::disabled())
+}
+
+/// [`load_graph`] recording `ingest/parse` and `ingest/build` phase spans
+/// on `recorder` (a disabled recorder keeps the zero-overhead path).
+fn load_graph_recorded(
+    path: &str,
+    recorder: &parcom_obs::Recorder,
+) -> Result<Graph, Box<dyn Error>> {
     let ext = Path::new(path)
         .extension()
         .and_then(|e| e.to_str())
         .unwrap_or("");
     let g = if matches!(ext, "metis" | "graph") {
-        parcom_io::read_metis(path)?
+        parcom_io::read_metis_recorded(path, recorder)?
     } else {
-        parcom_io::read_edge_list(path)?.graph
+        parcom_io::read_edge_list_recorded(path, recorder)?.graph
     };
     Ok(g)
 }
@@ -132,9 +141,6 @@ pub fn generate(args: &Args) -> CmdResult {
 /// `parcom detect`
 pub fn detect(args: &Args) -> CmdResult {
     let input = args.require("input")?;
-    let g = load_graph(input)?;
-    let mut algo = make_algorithm(args)?;
-    let threads: usize = args.get_or("threads", 0)?;
     let report_json = match args.get("report") {
         None => false,
         Some("json") => true,
@@ -142,6 +148,16 @@ pub fn detect(args: &Args) -> CmdResult {
             return Err(format!("unknown report format `{other}` (supported: json)").into())
         }
     };
+    // with --report, graph ingest is instrumented too: its phases
+    // (`ingest/parse`, `ingest/build`) are prepended to the run report
+    let ingest_rec = if report_json {
+        parcom_obs::Recorder::enabled()
+    } else {
+        parcom_obs::Recorder::disabled()
+    };
+    let g = load_graph_recorded(input, &ingest_rec)?;
+    let mut algo = make_algorithm(args)?;
+    let threads: usize = args.get_or("threads", 0)?;
 
     // with --report, the run is instrumented; without, detect() keeps the
     // zero-overhead path
@@ -154,11 +170,15 @@ pub fn detect(args: &Args) -> CmdResult {
         };
         (zeta, report, start.elapsed())
     };
-    let (zeta, report, elapsed) = if threads > 0 {
+    let (zeta, mut report, elapsed) = if threads > 0 {
         parcom_graph::parallel::with_threads(threads, || run(&mut algo))
     } else {
         run(&mut algo)
     };
+    if report_json {
+        let ingest = ingest_rec.finish("ingest");
+        report.phases.splice(0..0, ingest.phases);
+    }
 
     let summary = format!(
         "{} on {input}: n={} m={} -> {} communities, modularity {:.4}, coverage {:.4}, {:.3}s ({:.1}M edges/s)",

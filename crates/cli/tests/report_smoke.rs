@@ -47,6 +47,9 @@ fn detect_report_json_emits_a_valid_run_report() {
     assert!(stdout.contains("\"name\":\"level-0\""), "{stdout}");
     assert!(stdout.contains("\"name\":\"move-phase\""), "{stdout}");
     assert!(stdout.contains("\"name\":\"coarsen\""), "{stdout}");
+    // graph ingest phases lead the report
+    assert!(stdout.contains("\"name\":\"ingest/parse\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"ingest/build\""), "{stdout}");
 
     // the human summary moved to stderr
     let stderr = String::from_utf8(out.stderr).unwrap();

@@ -6,10 +6,15 @@
 
 use parcom_graph::{Graph, GraphBuilder, Node};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Generates a BA graph: starts from a clique on `attach + 1` nodes, then
 /// every new node attaches to `attach` distinct existing nodes chosen
 /// proportionally to their degree. Deterministic in `seed`.
+///
+/// Sampling is inherently sequential (each node's choices depend on all
+/// earlier degrees), so edges are collected first and fed to the parallel
+/// CSR assembly via [`GraphBuilder::par_extend`].
 pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
     assert!(attach >= 1, "attachment count must be positive");
     assert!(
@@ -17,7 +22,7 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
         "need more nodes ({n}) than the attachment count ({attach})"
     );
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_capacity(n, n * attach);
+    let mut pairs: Vec<(Node, Node)> = Vec::with_capacity(n * attach);
 
     // Repeated-endpoints list: sampling a uniform entry is sampling
     // proportional to degree.
@@ -27,7 +32,7 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
     let m0 = attach + 1;
     for u in 0..m0 as Node {
         for v in (u + 1)..m0 as Node {
-            b.add_unweighted_edge(u, v);
+            pairs.push((u, v));
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -44,11 +49,14 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
             }
         }
         for &v in &chosen {
-            b.add_unweighted_edge(u as Node, v);
+            pairs.push((u as Node, v));
             endpoints.push(u as Node);
             endpoints.push(v);
         }
     }
+
+    let mut b = GraphBuilder::with_capacity(n, pairs.len());
+    b.par_extend(pairs.into_par_iter().map(|(u, v)| (u, v, 1.0)));
     b.build()
 }
 

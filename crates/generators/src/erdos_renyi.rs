@@ -1,35 +1,33 @@
 //! Erdős–Rényi `G(n, p)` random graphs.
 //!
 //! Uses geometric edge skipping (Batagelj–Brandes) so generation is
-//! `O(n + m)` instead of `O(n²)`.
+//! `O(n + m)` instead of `O(n²)`, parallelized over contiguous row ranges
+//! of the strictly-lower-triangular pair space: the geometric skip process
+//! is memoryless, so restarting it at each range boundary with an
+//! independent per-range RNG stream samples the exact same `G(n, p)`
+//! distribution. Edges feed the parallel CSR assembly without a serial
+//! collection step ([`GraphBuilder::par_extend`]).
 
+use parcom_graph::parallel::chunk_ranges;
 use parcom_graph::{Graph, GraphBuilder, Node};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rayon::prelude::*;
+use std::ops::Range;
 
-/// Generates `G(n, p)`: each of the `n(n-1)/2` node pairs is an edge
-/// independently with probability `p`. Deterministic in `seed`.
-pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut b = GraphBuilder::new(n);
-    if n < 2 || p == 0.0 {
-        return b.build();
-    }
+/// Rows below this stay in one chunk: per-chunk RNG setup would dominate.
+const MIN_ROWS_PER_CHUNK: usize = 512;
+
+/// Batagelj–Brandes skipping over the pairs `(row, col)` with
+/// `rows.start <= row < rows.end`, `col < row`.
+fn sample_rows(n: usize, rows: Range<usize>, log_q: f64, seed: u64) -> Vec<(Node, Node, f64)> {
+    let mut out = Vec::new();
     let mut rng = SmallRng::seed_from_u64(seed);
-    if p >= 1.0 {
-        for u in 0..n as Node {
-            for v in (u + 1)..n as Node {
-                b.add_unweighted_edge(u, v);
-            }
-        }
-        return b.build();
-    }
-
-    // Batagelj–Brandes skipping over the strictly-lower-triangular pairs
-    // (row, col) with col < row: geometric(p) non-edges, then one edge.
-    let log_q = (1.0 - p).ln();
-    let mut row = 1usize;
+    let mut row = rows.start.max(1);
     let mut col = 0usize;
-    // Advances the cursor by `k` positions; returns false past the end.
+    if row >= rows.end {
+        return out;
+    }
+    // Advances the cursor by `k` positions; returns false past the range.
     let advance = |row: &mut usize, col: &mut usize, mut k: usize| -> bool {
         while k > 0 {
             let left_in_row = *row - *col;
@@ -40,23 +38,59 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
             k -= left_in_row;
             *row += 1;
             *col = 0;
-            if *row >= n {
+            if *row >= rows.end {
                 return false;
             }
         }
         true
     };
+    debug_assert!(rows.end <= n);
     loop {
         let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let skip = (r.ln() / log_q).floor() as usize; // number of non-edges
         if !advance(&mut row, &mut col, skip) {
-            return b.build();
+            return out;
         }
-        b.add_unweighted_edge(col as Node, row as Node);
+        out.push((col as Node, row as Node, 1.0));
         if !advance(&mut row, &mut col, 1) {
-            return b.build();
+            return out;
         }
     }
+}
+
+/// Generates `G(n, p)`: each of the `n(n-1)/2` node pairs is an edge
+/// independently with probability `p`. Deterministic in `seed` (for a
+/// fixed thread count, which sets the row chunking).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        b.par_extend(
+            (1..n as Node)
+                .into_par_iter()
+                .flat_map_iter(|row| (0..row).map(move |col| (col, row, 1.0))),
+        );
+        return b.build();
+    }
+
+    let log_q = (1.0 - p).ln();
+    let parts = rayon::current_num_threads()
+        .max(1)
+        .min(n.div_ceil(MIN_ROWS_PER_CHUNK));
+    let tasks: Vec<(usize, Range<usize>)> =
+        chunk_ranges(n, parts.max(1)).into_iter().enumerate().collect();
+    let per_chunk: Vec<Vec<(Node, Node, f64)>> = tasks
+        .into_par_iter()
+        .map(|(ci, rows)| {
+            let chunk_seed = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ci as u64 + 1));
+            sample_rows(n, rows, log_q, chunk_seed)
+        })
+        .collect();
+    b.par_extend(per_chunk.into_par_iter().flat_map_iter(|v| v));
+    b.build()
 }
 
 #[cfg(test)]

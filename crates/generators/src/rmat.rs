@@ -108,9 +108,7 @@ pub fn rmat(params: RmatParams, seed: u64) -> Graph {
     pairs.dedup();
 
     let mut b = GraphBuilder::with_capacity(n, pairs.len());
-    for (u, v) in pairs {
-        b.add_unweighted_edge(u, v);
-    }
+    b.par_extend(pairs.into_par_iter().map(|(u, v)| (u, v, 1.0)));
     b.build()
 }
 

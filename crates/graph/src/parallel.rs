@@ -43,6 +43,70 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
+/// Splits `slice` into one sub-slice per range in `ranges`.
+///
+/// The ranges must tile a prefix of the slice (contiguous, in order,
+/// starting at 0) — exactly what [`chunk_ranges`] produces. The returned
+/// sub-slices are disjoint, so they can be handed to different threads;
+/// this is how the CSR assembly distributes per-node-range regions of the
+/// flat arrays without `unsafe`.
+pub fn split_by_ranges<'a, T>(
+    mut slice: &'a mut [T],
+    ranges: &[std::ops::Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut expect = 0;
+    for r in ranges {
+        assert_eq!(r.start, expect, "ranges must tile the slice in order");
+        let (head, tail) = slice.split_at_mut(r.len());
+        out.push(head);
+        slice = tail;
+        expect = r.end;
+    }
+    out
+}
+
+/// Exclusive parallel prefix sum: returns `out` of length `xs.len() + 1`
+/// with `out[i] = Σ_{j<i} xs[j]` (so `out[len]` is the total).
+///
+/// The classic two-pass scheme: per-part totals in parallel, a sequential
+/// scan over the (few) part totals, then a parallel pass writing each
+/// part's local prefix offset by its base. `parts` bounds the number of
+/// concurrent parts; pass 1 for a sequential scan.
+pub fn exclusive_prefix_sum(xs: &[u32], parts: usize) -> Vec<usize> {
+    use rayon::prelude::*;
+    let ranges = chunk_ranges(xs.len(), parts);
+    let totals: Vec<usize> = ranges
+        .par_iter()
+        .map(|r| xs[r.clone()].iter().map(|&x| x as usize).sum())
+        .collect();
+    let mut bases = Vec::with_capacity(ranges.len());
+    let mut acc = 0usize;
+    for t in &totals {
+        bases.push(acc);
+        acc += t;
+    }
+    let mut out = vec![0usize; xs.len() + 1];
+    out[xs.len()] = acc;
+    {
+        let pieces = split_by_ranges(&mut out[..xs.len()], &ranges);
+        ranges
+            .iter()
+            .zip(pieces)
+            .zip(bases)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|((r, piece), base)| {
+                let mut acc = base;
+                for (slot, &x) in piece.iter_mut().zip(&xs[r.clone()]) {
+                    *slot = acc;
+                    acc += x as usize;
+                }
+            });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +158,33 @@ mod tests {
     fn chunk_ranges_never_exceed_parts() {
         assert_eq!(chunk_ranges(4, 8).len(), 4);
         assert_eq!(chunk_ranges(100, 8).len(), 8);
+    }
+
+    #[test]
+    fn split_by_ranges_is_a_partition() {
+        let mut data: Vec<u32> = (0..17).collect();
+        let ranges = chunk_ranges(17, 4);
+        let pieces = split_by_ranges(&mut data, &ranges);
+        assert_eq!(pieces.len(), 4);
+        let flat: Vec<u32> = pieces.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(flat, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_matches_sequential() {
+        for len in [0usize, 1, 2, 7, 100, 1000] {
+            let xs: Vec<u32> = (0..len).map(|i| (i as u32 * 7 + 3) % 11).collect();
+            for parts in [1usize, 2, 3, 8] {
+                let got = exclusive_prefix_sum(&xs, parts);
+                let mut expect = Vec::with_capacity(len + 1);
+                let mut acc = 0usize;
+                for &x in &xs {
+                    expect.push(acc);
+                    acc += x as usize;
+                }
+                expect.push(acc);
+                assert_eq!(got, expect, "len={len} parts={parts}");
+            }
+        }
     }
 }

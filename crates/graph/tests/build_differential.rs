@@ -1,0 +1,63 @@
+//! Differential property tests: the parallel in-place CSR assembly
+//! ([`GraphBuilder::build`]) must be *bit-identical* — offsets, targets,
+//! and weight bit patterns — to the retained sequential reference
+//! ([`GraphBuilder::build_reference`]) on arbitrary edge multisets
+//! (duplicates, self-loops, isolated nodes), and independent of edge
+//! insertion order.
+
+use parcom_graph::{Graph, GraphBuilder, Node};
+use proptest::prelude::*;
+
+/// Exact CSR equality: same adjacency structure and same weight bits.
+fn assert_bit_identical(a: &Graph, b: &Graph) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    for u in a.nodes() {
+        let (ta, wa) = a.neighbors_and_weights(u);
+        let (tb, wb) = b.neighbors_and_weights(u);
+        assert_eq!(ta, tb, "row {u} targets differ");
+        let bits = |ws: &[f64]| ws.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(wa), bits(wb), "row {u} weight bits differ");
+    }
+}
+
+fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(Node, Node, f64)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        // Coarse weight grid plus tiny magnitudes so duplicate summation
+        // order actually matters in the low mantissa bits.
+        let weight = (0u32..102u32).prop_map(|w| match w {
+            100 => 1e-17,
+            101 => 0.1,
+            w => (w + 1) as f64 / 10.0,
+        });
+        let edge = (0..n as Node, 0..n as Node, weight);
+        proptest::collection::vec(edge, 0..(6 * n))
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn parallel_build_matches_reference((n, edges) in arb_edges(80)) {
+        let mut a = GraphBuilder::with_capacity(n, edges.len());
+        let mut b = GraphBuilder::with_capacity(n, edges.len());
+        for &(u, v, w) in &edges {
+            a.add_edge(u, v, w);
+            b.add_edge(u, v, w);
+        }
+        assert_bit_identical(&a.build(), &b.build_reference());
+    }
+
+    #[test]
+    fn build_is_insertion_order_independent((n, edges) in arb_edges(60)) {
+        let mut forward = GraphBuilder::with_capacity(n, edges.len());
+        let mut backward = GraphBuilder::with_capacity(n, edges.len());
+        for &(u, v, w) in &edges {
+            forward.add_edge(u, v, w);
+        }
+        for &(u, v, w) in edges.iter().rev() {
+            backward.add_edge(v, u, w);
+        }
+        assert_bit_identical(&forward.build(), &backward.build());
+    }
+}

@@ -1,0 +1,295 @@
+//! Byte-level parsing substrate for the parallel readers.
+//!
+//! The chunked parsers ([`crate::metis`], [`crate::edgelist`]) read the
+//! whole file into one buffer, split it on line boundaries into roughly
+//! per-core chunks, and parse each chunk independently with zero per-line
+//! allocation: lines and tokens are `&[u8]` sub-slices of the buffer, and
+//! numbers parse straight from those slices. This module holds the shared
+//! machinery — chunking, line iteration, token scanning, numeric parsing.
+//!
+//! Error context discipline: chunks know their absolute starting line
+//! (computed with one cheap parallel newline count + prefix sum), so every
+//! parse error still carries the exact 1-based line number and the
+//! `path:line: msg` format is preserved bit-for-bit against the
+//! sequential reference parsers.
+
+use rayon::prelude::*;
+
+/// Files smaller than this parse sequentially: chunk bookkeeping and
+/// thread spawns would cost more than they save.
+pub(crate) const MIN_PARALLEL_BYTES: usize = 1 << 16;
+
+/// Picks the chunk count for an input buffer: one chunk (which parses
+/// inline, no thread spawns) for small buffers or single-thread pools,
+/// otherwise one chunk per pool thread.
+pub(crate) fn auto_parts(len: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    if len < MIN_PARALLEL_BYTES || threads == 1 {
+        1
+    } else {
+        threads
+    }
+}
+
+/// A byte range of the input that starts at a line boundary.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Chunk<'a> {
+    /// The chunk's bytes; always begins at the start of a line.
+    pub bytes: &'a [u8],
+    /// 1-based line number of the chunk's first line.
+    pub first_line: usize,
+}
+
+/// Splits `bytes` into at most `parts` chunks on line boundaries and
+/// annotates each with its absolute first line number (`base_line` is the
+/// 1-based number of the first line of `bytes`). Every byte lands in
+/// exactly one chunk and concatenating the chunks in order reproduces the
+/// input, so parsing chunk-by-chunk in order is equivalent to parsing the
+/// whole buffer.
+pub(crate) fn chunk_lines(bytes: &[u8], parts: usize, base_line: usize) -> Vec<Chunk<'_>> {
+    let parts = parts.max(1);
+    let mut slices: Vec<&[u8]> = Vec::with_capacity(parts);
+    let target = bytes.len().div_ceil(parts).max(1);
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let tentative = (start + target).min(bytes.len());
+        // extend to the next newline so the cut lands on a line boundary
+        let end = match bytes[tentative..].iter().position(|&b| b == b'\n') {
+            Some(i) => tentative + i + 1,
+            None => bytes.len(),
+        };
+        slices.push(&bytes[start..end]);
+        start = end;
+    }
+    if slices.is_empty() {
+        slices.push(&bytes[0..0]);
+    }
+    // Newline counts per chunk (parallel), prefix-summed into absolute
+    // first-line numbers. A lone chunk starts at `base_line` by definition,
+    // so the counting scan is skipped entirely.
+    let newline_counts: Vec<usize> = if slices.len() == 1 {
+        vec![0]
+    } else {
+        slices
+            .par_iter()
+            .map(|s| s.iter().filter(|&&b| b == b'\n').count())
+            .collect()
+    };
+    let mut out = Vec::with_capacity(slices.len());
+    let mut line = base_line;
+    for (s, nl) in slices.into_iter().zip(newline_counts) {
+        out.push(Chunk {
+            bytes: s,
+            first_line: line,
+        });
+        line += nl;
+    }
+    out
+}
+
+/// Iterator over the lines of a byte buffer, mirroring
+/// `BufRead::lines`: terminators are stripped (`\n`, and a trailing `\r`
+/// for CRLF files) and a final newline does not produce an empty
+/// trailing line.
+pub(crate) struct Lines<'a> {
+    rest: Option<&'a [u8]>,
+}
+
+impl<'a> Iterator for Lines<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let rest = self.rest.take()?;
+        let (mut line, tail) = match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, &rest[rest.len()..]),
+        };
+        if !tail.is_empty() {
+            self.rest = Some(tail);
+        }
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        Some(line)
+    }
+}
+
+/// Lines of `bytes` (see [`Lines`]).
+pub(crate) fn lines(bytes: &[u8]) -> Lines<'_> {
+    Lines {
+        rest: if bytes.is_empty() { None } else { Some(bytes) },
+    }
+}
+
+/// Total number of lines in `bytes`, counting like [`lines`] iterates
+/// (a trailing newline does not open a new line).
+pub(crate) fn line_count(bytes: &[u8]) -> usize {
+    if bytes.is_empty() {
+        return 0;
+    }
+    let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+    if bytes.last() == Some(&b'\n') {
+        newlines
+    } else {
+        newlines + 1
+    }
+}
+
+/// Iterator over the ASCII-whitespace-separated tokens of a line.
+pub(crate) struct Tokens<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let start = self.rest.iter().position(|b| !b.is_ascii_whitespace())?;
+        let rest = &self.rest[start..];
+        let end = rest
+            .iter()
+            .position(|b| b.is_ascii_whitespace())
+            .unwrap_or(rest.len());
+        self.rest = &rest[end..];
+        Some(&rest[..end])
+    }
+}
+
+/// Tokens of `line` (see [`Tokens`]).
+pub(crate) fn tokens(line: &[u8]) -> Tokens<'_> {
+    Tokens { rest: line }
+}
+
+/// Parses an unsigned decimal integer (optionally `+`-prefixed, like
+/// `str::parse`) without allocating. `None` on empty, non-digit, or
+/// overflowing input.
+pub(crate) fn parse_u64(tok: &[u8]) -> Option<u64> {
+    let digits = match tok.first() {
+        Some(b'+') => &tok[1..],
+        _ => tok,
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    if digits.len() <= 18 {
+        // up to 18 digits cannot overflow a u64: skip the checked ops in
+        // the hot path (every METIS/edgelist token lands here)
+        let mut acc: u64 = 0;
+        for &b in digits {
+            let d = b.wrapping_sub(b'0');
+            if d > 9 {
+                return None;
+            }
+            acc = acc * 10 + d as u64;
+        }
+        return Some(acc);
+    }
+    let mut acc: u64 = 0;
+    for &b in digits {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_add(d as u64)?;
+    }
+    Some(acc)
+}
+
+/// [`parse_u64`] narrowed to `usize`.
+pub(crate) fn parse_usize(tok: &[u8]) -> Option<usize> {
+    parse_u64(tok)?.try_into().ok()
+}
+
+/// Parses an `f64` from a byte token (UTF-8 check on the short token,
+/// then `str::parse` — no heap allocation).
+pub(crate) fn parse_f64(tok: &[u8]) -> Option<f64> {
+    std::str::from_utf8(tok).ok()?.parse().ok()
+}
+
+/// Of the per-chunk parse results, the error from the earliest chunk (=
+/// earliest line, since chunks are in line order) or the concatenation
+/// basis: returns `Ok(values)` in chunk order, or the first `Err`.
+pub(crate) fn first_error<T, E>(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_match_bufread_semantics() {
+        let cases: [(&[u8], Vec<&[u8]>); 6] = [
+            (b"", vec![]),
+            (b"a", vec![b"a"]),
+            (b"a\n", vec![b"a"]),
+            (b"a\n\nb", vec![b"a", b"", b"b"]),
+            (b"a\r\nb\n", vec![b"a", b"b"]),
+            (b"\n\n", vec![b"", b""]),
+        ];
+        for (input, expect) in cases {
+            let got: Vec<&[u8]> = lines(input).collect();
+            assert_eq!(got, expect, "input {input:?}");
+            assert_eq!(line_count(input), expect.len(), "count for {input:?}");
+        }
+    }
+
+    #[test]
+    fn tokens_split_on_ascii_whitespace() {
+        let got: Vec<&[u8]> = tokens(b"  12\t 3.5  x ").collect();
+        assert_eq!(got, vec![&b"12"[..], b"3.5", b"x"]);
+        assert_eq!(tokens(b"   ").count(), 0);
+        assert_eq!(tokens(b"").count(), 0);
+    }
+
+    #[test]
+    fn chunks_tile_the_input_and_number_lines() {
+        let text = b"one\ntwo\nthree\nfour\nfive\nsix\n";
+        for parts in [1usize, 2, 3, 5, 20] {
+            let chunks = chunk_lines(text, parts, 1);
+            let glued: Vec<u8> = chunks.iter().flat_map(|c| c.bytes.iter().copied()).collect();
+            assert_eq!(glued, text.to_vec());
+            // every chunk starts at a line boundary with the right number
+            let mut all_lines = Vec::new();
+            for c in &chunks {
+                let mut lineno = c.first_line;
+                for l in lines(c.bytes) {
+                    all_lines.push((lineno, l.to_vec()));
+                    lineno += 1;
+                }
+            }
+            let expect: Vec<(usize, Vec<u8>)> = lines(text)
+                .enumerate()
+                .map(|(i, l)| (i + 1, l.to_vec()))
+                .collect();
+            assert_eq!(all_lines, expect, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn chunking_handles_missing_trailing_newline() {
+        let text = b"a\nb\nc";
+        let chunks = chunk_lines(text, 2, 5);
+        let glued: Vec<u8> = chunks.iter().flat_map(|c| c.bytes.iter().copied()).collect();
+        assert_eq!(glued, text.to_vec());
+        assert_eq!(chunks[0].first_line, 5);
+    }
+
+    #[test]
+    fn numeric_parsers() {
+        assert_eq!(parse_u64(b"0"), Some(0));
+        assert_eq!(parse_u64(b"+42"), Some(42));
+        assert_eq!(parse_u64(b"18446744073709551615"), Some(u64::MAX));
+        assert_eq!(parse_u64(b"18446744073709551616"), None);
+        assert_eq!(parse_u64(b""), None);
+        assert_eq!(parse_u64(b"-1"), None);
+        assert_eq!(parse_u64(b"1x"), None);
+        assert_eq!(parse_f64(b"2.5"), Some(2.5));
+        assert_eq!(parse_f64(b"1e-3"), Some(1e-3));
+        assert_eq!(parse_f64(b"nope"), None);
+    }
+}

@@ -10,12 +10,22 @@
 //!   collection (reader and writer, weighted and unweighted).
 //! * [`edgelist`] — whitespace-separated edge lists (SNAP style), with
 //!   comment handling and automatic node-id compaction.
+//!
+//! Both graph readers use a parallel byte-chunked ingest pipeline
+//! (DESIGN.md §10): the file is read into one buffer, split on line
+//! boundaries into per-core chunks, parsed with zero per-line allocation,
+//! and assembled by the parallel CSR builder. The `*_recorded` entry
+//! points expose `ingest/parse` / `ingest/build` phase timings through
+//! `parcom-obs`. The pre-parallel readers are retained as
+//! [`metis::read_metis_seq`] / [`edgelist::read_edge_list_seq`] and pinned
+//! bit-identical by differential proptests.
 //! * [`partition_io`] — one community id per line, aligned with node ids.
 //! * [`dot`] — Graphviz export of community graphs (node size proportional
 //!   to community size, like the paper's PGPgiantcompo drawings).
 //! * [`gml`] — GML export with per-node community annotations for external
 //!   visualization tools.
 
+pub(crate) mod chunk;
 pub mod dot;
 pub mod edgelist;
 pub mod gml;
@@ -23,9 +33,9 @@ pub mod metis;
 pub mod partition_io;
 
 pub use dot::write_community_graph_dot;
-pub use edgelist::{read_edge_list, write_edge_list};
+pub use edgelist::{read_edge_list, read_edge_list_recorded, write_edge_list};
 pub use gml::{write_gml, write_gml_to};
-pub use metis::{read_metis, write_metis};
+pub use metis::{read_metis, read_metis_recorded, write_metis};
 pub use partition_io::{read_partition, write_partition};
 
 use std::path::{Path, PathBuf};

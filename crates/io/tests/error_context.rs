@@ -69,13 +69,19 @@ fn missing_file_carries_path_but_no_line() {
 }
 
 #[test]
-fn whole_file_checks_have_path_but_no_line() {
-    // edge-count mismatch is only detectable after the whole file is read
+fn whole_file_checks_carry_the_last_line() {
+    // edge-count mismatch is only detectable after the whole file is
+    // read; the error still anchors at the last line read so the message
+    // keeps the `path:line:` shape
     let path = write_temp("mismatch.metis", "2 5\n2\n1\n");
     let err = read_metis(&path).unwrap_err();
-    assert_eq!(err.path(), Some(path.as_path()));
-    assert_eq!(err.line(), None);
     assert!(err.to_string().contains("header claims"));
+    assert_context(&err, &path, 3);
+
+    let path = write_temp("short.metis", "4 2\n2\n1\n");
+    let err = read_metis(&path).unwrap_err();
+    assert!(err.to_string().contains("expected 4 adjacency lines"));
+    assert_context(&err, &path, 3);
 }
 
 #[test]

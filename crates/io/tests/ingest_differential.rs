@@ -1,0 +1,231 @@
+//! Differential property tests for the parallel ingest pipeline: on any
+//! input — valid or corrupted — the chunked parsers must behave
+//! *identically* to the retained sequential references for every chunk
+//! count: same graph bit-for-bit (offsets, targets, weight bit patterns,
+//! label order) on success, same error line and message on failure.
+
+use parcom_graph::{Graph, GraphBuilder};
+use parcom_io::edgelist::{read_edge_list_chunked, read_edge_list_seq};
+use parcom_io::metis::{read_metis_chunked, read_metis_seq};
+use parcom_io::IoError;
+use proptest::prelude::*;
+
+const PARTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Exact CSR equality: same adjacency structure and same weight bits.
+fn assert_bit_identical(a: &Graph, b: &Graph, ctx: &str) {
+    assert_eq!(a.node_count(), b.node_count(), "{ctx}: node count");
+    assert_eq!(a.edge_count(), b.edge_count(), "{ctx}: edge count");
+    for u in a.nodes() {
+        let (ta, wa) = a.neighbors_and_weights(u);
+        let (tb, wb) = b.neighbors_and_weights(u);
+        assert_eq!(ta, tb, "{ctx}: row {u} targets differ");
+        let bits = |ws: &[f64]| ws.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(wa), bits(wb), "{ctx}: row {u} weight bits differ");
+    }
+}
+
+/// Same outcome: both Ok with bit-identical graphs, or both Err with the
+/// same line and message.
+fn assert_same_outcome(
+    seq: &Result<Graph, IoError>,
+    par: &Result<Graph, IoError>,
+    ctx: &str,
+) {
+    match (seq, par) {
+        (Ok(a), Ok(b)) => assert_bit_identical(a, b, ctx),
+        (Err(a), Err(b)) => {
+            assert_eq!(a.line(), b.line(), "{ctx}: error lines differ");
+            assert_eq!(a.to_string(), b.to_string(), "{ctx}: error messages differ");
+        }
+        (a, b) => panic!(
+            "{ctx}: outcomes diverge: seq={:?} par={:?}",
+            a.as_ref().map(|g| g.edge_count()),
+            b.as_ref().map(|g| g.edge_count())
+        ),
+    }
+}
+
+/// A weight grid coarse enough to render/reparse exactly yet including
+/// magnitudes where duplicate-summation order shows in the mantissa.
+fn arb_weight() -> impl Strategy<Value = f64> {
+    (0u32..102u32).prop_map(|w| match w {
+        100 => 1e-17,
+        101 => 0.1,
+        w => (w + 1) as f64 / 10.0,
+    })
+}
+
+/// `(n, edges, weighted, comment_every)` for a well-formed METIS file:
+/// duplicates and self-loops allowed (they exercise the merge path), with
+/// comment lines sprinkled through the adjacency body.
+fn arb_metis() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>, bool, usize)> {
+    (1usize..30).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, arb_weight());
+        (proptest::collection::vec(edge, 0..(4 * n)), 0u32..2, 0usize..4)
+            .prop_map(move |(edges, w, ce)| (n, edges, w == 1, ce))
+    })
+}
+
+/// Renders a METIS file whose header edge count matches what the parsers
+/// will produce after duplicate merging. Empty rows (isolated nodes) come
+/// out as blank lines, so blank-line handling is covered for free.
+fn render_metis(n: usize, edges: &[(u32, u32, f64)], weighted: bool, comment_every: usize) -> String {
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for &(u, v, w) in edges {
+        let w = if weighted { w } else { 1.0 };
+        adj[u as usize].push((v, w));
+        if u != v {
+            adj[v as usize].push((u, w));
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        b.add_edge(u, v, if weighted { w } else { 1.0 });
+    }
+    let m = b.build().edge_count();
+
+    let mut s = String::new();
+    s.push_str("% generated\n");
+    s.push_str(&format!("{n} {m}{}\n", if weighted { " 1" } else { "" }));
+    for (i, row) in adj.iter().enumerate() {
+        if comment_every > 0 && i % comment_every == 0 {
+            s.push_str("% interleaved comment\n");
+        }
+        let toks: Vec<String> = row
+            .iter()
+            .map(|&(v, w)| {
+                if weighted {
+                    format!("{} {}", v + 1, w)
+                } else {
+                    format!("{}", v + 1)
+                }
+            })
+            .collect();
+        s.push_str(&toks.join(" "));
+        s.push('\n');
+    }
+    s
+}
+
+/// `(edges-with-optional-weight, comment_style)` for an edge-list file
+/// with gappy labels, comments, and blank lines.
+fn arb_edgelist() -> impl Strategy<Value = (Vec<(u64, u64, Option<f64>)>, usize)> {
+    let edge = (0u64..40, 0u64..40, (0u32..3, arb_weight()))
+        .prop_map(|(u, v, (k, w))| (u, v, if k == 0 { None } else { Some(w) }));
+    (proptest::collection::vec(edge, 0..80), 0usize..4)
+}
+
+fn render_edgelist(edges: &[(u64, u64, Option<f64>)], comment_every: usize) -> String {
+    let mut s = String::from("# generated edge list\n");
+    for (i, &(u, v, w)) in edges.iter().enumerate() {
+        if comment_every > 0 && i % comment_every == 0 {
+            s.push_str(if i % 2 == 0 { "% comment\n" } else { "\n" });
+        }
+        // sparse labels: gaps force the id-compaction path
+        let (u, v) = (u * 7, v * 7 + 3);
+        match w {
+            Some(w) => s.push_str(&format!("{u} {v} {w}\n")),
+            None => s.push_str(&format!("{u} {v}\n")),
+        }
+    }
+    s
+}
+
+/// Corrupts one line of a rendered file so the error paths get compared
+/// too.
+fn corrupt(text: &str, line_pick: usize, kind: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return "x x".to_string();
+    }
+    let at = line_pick % lines.len();
+    let mut out = Vec::new();
+    for (i, l) in lines.iter().enumerate() {
+        if i == at {
+            match kind {
+                0 => out.push("x x"),
+                1 => out.push("1 nope"),
+                2 => continue, // drop the line entirely
+                _ => out.push("999999999"),
+            }
+        } else {
+            out.push(l);
+        }
+    }
+    out.join("\n") + "\n"
+}
+
+proptest! {
+    #[test]
+    fn metis_chunked_matches_sequential((n, edges, weighted, ce) in arb_metis()) {
+        let text = render_metis(n, &edges, weighted, ce);
+        let seq = read_metis_seq(text.as_bytes());
+        prop_assert!(seq.is_ok(), "generator must render valid files: {:?}", seq.err().map(|e| e.to_string()));
+        for parts in PARTS {
+            let par = read_metis_chunked(text.as_bytes(), parts);
+            assert_same_outcome(&seq, &par, &format!("parts={parts}"));
+        }
+    }
+
+    #[test]
+    fn metis_errors_match_sequential(
+        (n, edges, weighted, ce) in arb_metis(),
+        line_pick in 0usize..100,
+        kind in 0usize..4,
+    ) {
+        let text = corrupt(&render_metis(n, &edges, weighted, ce), line_pick, kind);
+        let seq = read_metis_seq(text.as_bytes());
+        for parts in PARTS {
+            let par = read_metis_chunked(text.as_bytes(), parts);
+            assert_same_outcome(&seq, &par, &format!("parts={parts} corrupted"));
+        }
+    }
+
+    #[test]
+    fn edgelist_chunked_matches_sequential((edges, ce) in arb_edgelist()) {
+        let text = render_edgelist(&edges, ce);
+        let seq = read_edge_list_seq(text.as_bytes()).expect("valid render");
+        for parts in PARTS {
+            let par = read_edge_list_chunked(text.as_bytes(), parts).expect("valid render");
+            assert_eq!(seq.labels, par.labels, "parts={parts} label order");
+            assert_bit_identical(&seq.graph, &par.graph, &format!("parts={parts}"));
+        }
+    }
+
+    #[test]
+    fn edgelist_errors_match_sequential(
+        (edges, ce) in arb_edgelist(),
+        line_pick in 0usize..100,
+        kind in 0usize..2,
+    ) {
+        // kinds that are invalid for edge lists: lone token, bad target
+        let bad = if kind == 0 { "77" } else { "3 notanid" };
+        let mut text = render_edgelist(&edges, ce);
+        let insert_at = line_pick % (text.lines().count() + 1);
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(insert_at.min(lines.len()), bad);
+        text = lines.join("\n") + "\n";
+
+        let seq = read_edge_list_seq(text.as_bytes());
+        prop_assert!(seq.is_err());
+        for parts in PARTS {
+            let par = read_edge_list_chunked(text.as_bytes(), parts);
+            let (e1, e2) = (seq.as_ref().unwrap_err(), par.as_ref().unwrap_err());
+            assert_eq!(e1.line(), e2.line(), "parts={parts}");
+            assert_eq!(e1.to_string(), e2.to_string(), "parts={parts}");
+        }
+    }
+
+    /// Inputs far below `MIN_PARALLEL_BYTES` still honor explicit chunk
+    /// counts larger than the line count.
+    #[test]
+    fn tiny_inputs_with_many_chunks(n in 1usize..4) {
+        let text = render_metis(n, &[], false, 0);
+        let seq = read_metis_seq(text.as_bytes());
+        for parts in [2usize, 16, 64] {
+            let par = read_metis_chunked(text.as_bytes(), parts);
+            assert_same_outcome(&seq, &par, &format!("tiny parts={parts}"));
+        }
+    }
+}
