@@ -19,6 +19,7 @@
 //! | `partial-cmp-unwrap` | no `partial_cmp(..).unwrap()/expect(..)` comparators — use `total_cmp` |
 //! | `lossy-cast` | no truncating `as u32`/`as Node` casts of counts outside annotated sites |
 //! | `io-unwrap` | no `unwrap()`/`expect(..)` in `crates/io` parsing paths |
+//! | `budget-check` | outermost multi-level loops in `budget: &Budget` functions must call `budget.check*` |
 //!
 //! Any line (or its immediate predecessor) may carry
 //! `// audit:allow(<rule>)` to suppress a diagnostic at a site that has
@@ -53,17 +54,26 @@ pub enum Rule {
     /// `unwrap()`/`expect(..)` in `crates/io` non-test code: readers parse
     /// untrusted input and must return `IoError`, never panic.
     IoUnwrap,
+    /// A function that accepts `budget: &Budget` promises cooperative
+    /// cancellation. Its *outermost* loops that do real work (contain a
+    /// nested loop or a `par_*` call) must check the budget somewhere in
+    /// the body; otherwise a deadline or cancel can go unnoticed for an
+    /// entire run. Single-level bookkeeping loops are exempt — budget
+    /// checks are amortized at sweep/merge granularity by design, never
+    /// per element.
+    BudgetCheck,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::AtomicOrdering,
         Rule::StaticMut,
         Rule::UnsafeCode,
         Rule::PartialCmpUnwrap,
         Rule::LossyCast,
         Rule::IoUnwrap,
+        Rule::BudgetCheck,
     ];
 
     /// The kebab-case name used in diagnostics and `audit:allow(..)`.
@@ -75,6 +85,7 @@ impl Rule {
             Rule::PartialCmpUnwrap => "partial-cmp-unwrap",
             Rule::LossyCast => "lossy-cast",
             Rule::IoUnwrap => "io-unwrap",
+            Rule::BudgetCheck => "budget-check",
         }
     }
 }
@@ -122,6 +133,9 @@ pub const ORDERING_ALLOWED: &[&str] = &[
     "crates/core/src/plm.rs",
     // sharded observability counters: one Relaxed fetch_add per worker
     "crates/obs/src/counters.rs",
+    // cancellation token flag and the shared sweep counter: single-word
+    // monotonic flags, Relaxed is sufficient and reviewed
+    "crates/guard/src/lib.rs",
 ];
 
 /// Files in which `unsafe` is permitted. Deliberately empty: the workspace
@@ -385,8 +399,50 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
     let mut test_pending = false;
     let mut test_depths: Vec<i64> = Vec::new();
 
+    // budget-check tracking: signatures accumulate from `fn ` to their `{`;
+    // inside a `budget: &Budget` function, the *outermost* open loop is
+    // watched for nested loops / `par_*` calls (heavy) and for a
+    // `budget.check*` call anywhere in its body.
+    struct LoopInfo {
+        header_idx: usize,
+        depth: i64,
+        heavy: bool,
+        has_check: bool,
+    }
+    let mut fn_sig: Option<String> = None;
+    let mut budget_fn_depths: Vec<i64> = Vec::new();
+    let mut loop_pending: Option<usize> = None;
+    let mut outer_loop: Option<LoopInfo> = None;
+
     for (idx, code) in stripped.code.iter().enumerate() {
         let in_test_module = !test_depths.is_empty();
+        let in_budget_fn = !budget_fn_depths.is_empty();
+
+        // budget-check per-line bookkeeping (before the brace pass, so a
+        // `}` on this line sees up-to-date loop state)
+        if let Some(sig) = fn_sig.as_mut() {
+            sig.push_str(code);
+            sig.push(' ');
+        } else if contains_word(code, "fn") {
+            fn_sig = Some(format!("{code} "));
+        }
+        if in_budget_fn {
+            let is_loop_header = contains_word(code, "for")
+                || contains_word(code, "while")
+                || contains_word(code, "loop");
+            match outer_loop.as_mut() {
+                Some(outer) => {
+                    if code.contains("budget.check") {
+                        outer.has_check = true;
+                    }
+                    if is_loop_header || code.contains(".par_") {
+                        outer.heavy = true;
+                    }
+                }
+                None if is_loop_header => loop_pending = Some(idx),
+                None => {}
+            }
+        }
 
         if !path_allowed(&normalized, ORDERING_ALLOWED) {
             for variant in ATOMIC_ORDERINGS {
@@ -448,13 +504,39 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
                         test_depths.push(depth);
                         test_pending = false;
                     }
+                    if let Some(sig) = fn_sig.take() {
+                        if sig.contains("budget: &Budget") {
+                            budget_fn_depths.push(depth);
+                        }
+                    }
+                    if let Some(header_idx) = loop_pending.take() {
+                        let header = &stripped.code[header_idx];
+                        outer_loop = Some(LoopInfo {
+                            header_idx,
+                            depth,
+                            heavy: header.contains(".par_"),
+                            has_check: header.contains("budget.check"),
+                        });
+                    }
                 }
                 '}' => {
                     if test_depths.last() == Some(&depth) {
                         test_depths.pop();
                     }
+                    if outer_loop.as_ref().is_some_and(|l| l.depth == depth) {
+                        let l = outer_loop.take().unwrap();
+                        if l.heavy && !l.has_check {
+                            report(l.header_idx, Rule::BudgetCheck, &mut out);
+                        }
+                    }
+                    if budget_fn_depths.last() == Some(&depth) {
+                        budget_fn_depths.pop();
+                    }
                     depth -= 1;
                 }
+                // a signature that ends in `;` is a trait declaration with
+                // no body to audit
+                ';' => fn_sig = None,
                 _ => {}
             }
         }
@@ -543,6 +625,34 @@ mod tests {
         let s = strip("/* outer /* inner */ still comment */ let a = 1;\n");
         assert!(s.code[0].contains("let a = 1;"));
         assert!(!s.code[0].contains("still"));
+    }
+
+    #[test]
+    fn budget_check_tracks_fn_signatures_and_loop_shape() {
+        // outermost loop with a nested loop and no check: fires once
+        let bad = "fn run(g: &G, budget: &Budget) {\n    for s in 0..9 {\n        for u in g.nodes() {\n            work(u);\n        }\n    }\n}\n";
+        let v = scan_source("x.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::BudgetCheck);
+        assert_eq!(v[0].line, 2);
+
+        // same shape with an amortized check: clean
+        let good = bad.replace("for u in", "budget.check()?;\n        for u in");
+        assert!(scan_source("x.rs", &good).is_empty());
+
+        // same shape without the budget parameter: not our business
+        let unbudgeted = bad.replace("budget: &Budget", "limit: usize");
+        assert!(scan_source("x.rs", &unbudgeted).is_empty());
+
+        // a single-level loop in a budget fn is exempt bookkeeping
+        let flat = "fn run(g: &G, budget: &Budget) {\n    for u in g.nodes() {\n        work(u);\n    }\n}\n";
+        assert!(scan_source("x.rs", flat).is_empty());
+
+        // a par_ call inside the loop also counts as heavy
+        let par = "fn run(g: &G, budget: &Budget) {\n    while improved {\n        xs.par_iter().for_each(work);\n    }\n}\n";
+        let v = scan_source("x.rs", par);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::BudgetCheck);
     }
 
     #[test]

@@ -13,3 +13,14 @@ fn sort_floats(xs: &mut [f64]) {
     // audit:allow(partial-cmp-unwrap)
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
 }
+
+fn delegated(members: &[Member], g: &Graph, budget: &Budget) -> Vec<Partition> {
+    // every member run checks the shared budget internally
+    // audit:allow(budget-check)
+    for m in members {
+        for _ in 0..2 {
+            m.detect_guarded(g, budget);
+        }
+    }
+    Vec::new()
+}

@@ -1,0 +1,59 @@
+// Fixture: a `budget: &Budget` function whose outermost loop does heavy
+// work (nested loop, then a par_ call) without ever checking the budget —
+// a deadline or cancel would go unnoticed for the whole run. The compliant
+// and exempt shapes below must NOT fire. Never compiled.
+
+fn run_guarded_bad(g: &Graph, budget: &Budget) -> Partition {
+    let mut zeta = Partition::singleton(g.node_count());
+    for _sweep in 0..100 {
+        for u in g.nodes() {
+            zeta.move_to_best(u);
+        }
+    }
+    zeta
+}
+
+fn run_guarded_bad_parallel(g: &Graph, budget: &Budget) -> Partition {
+    let mut zeta = Partition::singleton(g.node_count());
+    loop {
+        let moved = g.nodes().par_iter().map(|u| zeta.move_to_best(*u)).sum();
+        if moved == 0 {
+            break;
+        }
+    }
+    zeta
+}
+
+fn run_guarded_good(g: &Graph, budget: &Budget) -> Partition {
+    let mut zeta = Partition::singleton(g.node_count());
+    for _sweep in 0..100 {
+        if budget.check_sweep().is_err() {
+            break;
+        }
+        for u in g.nodes() {
+            zeta.move_to_best(u);
+        }
+    }
+    zeta
+}
+
+fn run_guarded_bookkeeping(g: &Graph, budget: &Budget) -> usize {
+    // single-level bookkeeping loop: exempt by design — checks are
+    // amortized at sweep granularity, never per element
+    let mut total = 0;
+    for u in g.nodes() {
+        total += u as usize;
+    }
+    total
+}
+
+fn unbudgeted(g: &Graph) -> usize {
+    // no budget parameter, no promise to keep: heavy loops are fine here
+    let mut total = 0;
+    for _ in 0..10 {
+        for u in g.nodes() {
+            total += u as usize;
+        }
+    }
+    total
+}

@@ -78,6 +78,35 @@ fn io_unwrap_rule_exempts_integration_tests() {
 }
 
 #[test]
+fn detects_unguarded_heavy_loops_in_budget_functions() {
+    let fired = rules_fired(
+        "crates/core/src/sneaky.rs",
+        &fixture("bad_unguarded_loop.rs"),
+    );
+    // the nested-loop body and the par_ body each fire once; the checked,
+    // bookkeeping, and unbudgeted shapes stay silent
+    assert_eq!(fired, vec![Rule::BudgetCheck; 2], "{fired:?}");
+}
+
+#[test]
+fn budget_check_fires_at_the_outermost_loop_header() {
+    let violations = scan_source(
+        "crates/core/src/sneaky.rs",
+        &fixture("bad_unguarded_loop.rs"),
+    );
+    let budget: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::BudgetCheck)
+        .collect();
+    assert!(
+        budget[0].excerpt.starts_with("for _sweep"),
+        "{:?}",
+        budget[0]
+    );
+    assert!(budget[1].excerpt.starts_with("loop {"), "{:?}", budget[1]);
+}
+
+#[test]
 fn audit_allow_markers_suppress_diagnostics() {
     let fired = rules_fired("crates/core/src/sneaky.rs", &fixture("allowed_escapes.rs"));
     assert!(fired.is_empty(), "{fired:?}");

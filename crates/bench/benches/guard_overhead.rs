@@ -1,0 +1,50 @@
+//! Overhead of the guarded entry points: `detect_guarded` under
+//! `Budget::unlimited()` runs the exact same algorithm body as `detect`
+//! plus one amortized budget check per sweep/level (or per 1024 merges in
+//! the agglomerators). The pairs below must be statistically
+//! indistinguishable — a regression here means a check leaked into a hot
+//! per-edge loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parcom_core::{Budget, CommunityDetector, Plm, Plp, Rg};
+use parcom_generators::{lfr, LfrParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_guard_overhead(c: &mut Criterion) {
+    let (g, _) = lfr(LfrParams::benchmark(10_000, 0.3), 77);
+    let budget = Budget::unlimited();
+
+    let mut group = c.benchmark_group("guard-overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("plp_detect_10k", |b| {
+        b.iter(|| black_box(Plp::new().detect(&g)))
+    });
+    group.bench_function("plp_guarded_10k", |b| {
+        b.iter(|| black_box(Plp::new().detect_guarded(&g, &budget).partition))
+    });
+
+    group.bench_function("plm_detect_10k", |b| {
+        b.iter(|| black_box(Plm::new().detect(&g)))
+    });
+    group.bench_function("plm_guarded_10k", |b| {
+        b.iter(|| black_box(Plm::new().detect_guarded(&g, &budget).partition))
+    });
+
+    // RG is the paced case: one check per 1024 heap pops
+    group.bench_function("rg_detect_10k", |b| {
+        b.iter(|| black_box(Rg::new().detect(&g)))
+    });
+    group.bench_function("rg_guarded_10k", |b| {
+        b.iter(|| black_box(Rg::new().detect_guarded(&g, &budget).partition))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_guard_overhead);
+criterion_main!(benches);

@@ -16,6 +16,9 @@
 //! | `--report json` | detect | emit the structured `RunReport` as JSON on stdout; the human summary moves to stderr. The report's leading phases are `ingest/parse` and `ingest/build` (graph file ingest timings, with `bytes`/`edges` counters), followed by the algorithm's own phases |
 //! | `--gamma X` | detect | PLM resolution parameter |
 //! | `--ensemble B` | detect | ensemble size for `epp`/`eppr`/`eml`/`cggc`/`cggci` |
+//! | `--timeout SECS` | detect | cooperative wall-clock budget: the run stops at the next sweep/level boundary after `SECS` seconds and returns the best valid partition so far; the termination cause lands in the summary and in `--report json` |
+//! | `--max-sweeps N` | detect | cap on total sweeps/levels across the run, with the same graceful degradation |
+//! | `--max-nodes N` / `--max-edges M` | detect | ingest limits: reject input whose header claims more, before allocating |
 //! | `--out FILE` | generate, detect, cg | output file |
 
 use std::collections::BTreeMap;

@@ -2,8 +2,8 @@
 
 use crate::args::Args;
 use parcom_core::{
-    compare, quality, Cggc, Cnm, CommunityDetector, CommunityGraph, Epp, EppIterated, Louvain, Pam,
-    Plm, Plp, Rg,
+    compare, quality, Budget, Cggc, Cnm, CommunityDetector, CommunityGraph, Epp, EppIterated,
+    Louvain, Pam, Plm, Plp, Rg,
 };
 use parcom_graph::stats::{summarize, SummaryOptions};
 use parcom_graph::{Graph, Partition};
@@ -15,23 +15,39 @@ type CmdResult = Result<(), Box<dyn Error>>;
 /// Reads a graph, dispatching on the file extension: `.metis`/`.graph` are
 /// METIS, everything else is treated as an edge list.
 fn load_graph(path: &str) -> Result<Graph, Box<dyn Error>> {
-    load_graph_recorded(path, &parcom_obs::Recorder::disabled())
+    load_graph_recorded(
+        path,
+        &parcom_obs::Recorder::disabled(),
+        &Budget::unlimited(),
+    )
 }
 
 /// [`load_graph`] recording `ingest/parse` and `ingest/build` phase spans
-/// on `recorder` (a disabled recorder keeps the zero-overhead path).
+/// on `recorder` (a disabled recorder keeps the zero-overhead path) and
+/// enforcing the budget's ingest limits: METIS headers exceeding them are
+/// rejected before allocation, edge lists after their (header-free) parse.
 fn load_graph_recorded(
     path: &str,
     recorder: &parcom_obs::Recorder,
+    budget: &Budget,
 ) -> Result<Graph, Box<dyn Error>> {
     let ext = Path::new(path)
         .extension()
         .and_then(|e| e.to_str())
         .unwrap_or("");
     let g = if matches!(ext, "metis" | "graph") {
-        parcom_io::read_metis_recorded(path, recorder)?
+        parcom_io::read_metis_budgeted(path, recorder, budget)?
     } else {
-        parcom_io::read_edge_list_recorded(path, recorder)?.graph
+        let g = parcom_io::read_edge_list_recorded(path, recorder)?.graph;
+        if budget.admits(g.node_count(), g.edge_count()).is_err() {
+            return Err(format!(
+                "{path}: graph has {} nodes / {} edges, exceeding the ingest limit",
+                g.node_count(),
+                g.edge_count()
+            )
+            .into());
+        }
+        g
     };
     Ok(g)
 }
@@ -148,6 +164,23 @@ pub fn detect(args: &Args) -> CmdResult {
             return Err(format!("unknown report format `{other}` (supported: json)").into())
         }
     };
+    // ingest limits apply while loading (METIS headers are rejected
+    // before allocation); the run budget is assembled after the load so a
+    // `--timeout` deadline covers detection only
+    let max_nodes: usize = args.get_or("max-nodes", 0)?;
+    let max_edges: usize = args.get_or("max-edges", 0)?;
+    let limited = max_nodes > 0 || max_edges > 0;
+    let make_limits = || {
+        if limited {
+            Budget::unlimited().with_input_limits(
+                if max_nodes > 0 { max_nodes } else { usize::MAX },
+                if max_edges > 0 { max_edges } else { usize::MAX },
+            )
+        } else {
+            Budget::unlimited()
+        }
+    };
+
     // with --report, graph ingest is instrumented too: its phases
     // (`ingest/parse`, `ingest/build`) are prepended to the run report
     let ingest_rec = if report_json {
@@ -155,22 +188,38 @@ pub fn detect(args: &Args) -> CmdResult {
     } else {
         parcom_obs::Recorder::disabled()
     };
-    let g = load_graph_recorded(input, &ingest_rec)?;
+    let g = load_graph_recorded(input, &ingest_rec, &make_limits())?;
     let mut algo = make_algorithm(args)?;
     let threads: usize = args.get_or("threads", 0)?;
 
-    // with --report, the run is instrumented; without, detect() keeps the
-    // zero-overhead path
+    let timeout: f64 = args.get_or("timeout", 0.0)?;
+    let max_sweeps: u64 = args.get_or("max-sweeps", 0)?;
+    let guarded = timeout > 0.0 || max_sweeps > 0;
+    let mut budget = make_limits();
+    if timeout > 0.0 {
+        budget = budget.with_deadline(std::time::Duration::from_secs_f64(timeout));
+    }
+    if max_sweeps > 0 {
+        budget = budget.with_max_sweeps(max_sweeps);
+    }
+
+    // with --timeout/--max-sweeps the run is guarded (and reported);
+    // with --report it is instrumented; without either, detect() keeps
+    // the zero-overhead path
     let run = |algo: &mut Box<dyn CommunityDetector + Send>| {
         let start = std::time::Instant::now();
-        let (zeta, report) = if report_json {
-            algo.detect_with_report(&g)
+        let (zeta, report, termination) = if guarded {
+            let r = algo.detect_guarded(&g, &budget);
+            (r.partition, r.report, Some(r.termination))
+        } else if report_json {
+            let (zeta, report) = algo.detect_with_report(&g);
+            (zeta, report, None)
         } else {
-            (algo.detect(&g), parcom_obs::RunReport::default())
+            (algo.detect(&g), parcom_obs::RunReport::default(), None)
         };
-        (zeta, report, start.elapsed())
+        (zeta, report, termination, start.elapsed())
     };
-    let (zeta, mut report, elapsed) = if threads > 0 {
+    let (zeta, mut report, termination, elapsed) = if threads > 0 {
         parcom_graph::parallel::with_threads(threads, || run(&mut algo))
     } else {
         run(&mut algo)
@@ -180,8 +229,15 @@ pub fn detect(args: &Args) -> CmdResult {
         report.phases.splice(0..0, ingest.phases);
     }
 
+    let termination_note = match termination {
+        Some(t) if t.interrupted() => match report.cut_phase.as_deref() {
+            Some(phase) => format!(", terminated early ({t}, in {phase})"),
+            None => format!(", terminated early ({t})"),
+        },
+        _ => String::new(),
+    };
     let summary = format!(
-        "{} on {input}: n={} m={} -> {} communities, modularity {:.4}, coverage {:.4}, {:.3}s ({:.1}M edges/s)",
+        "{} on {input}: n={} m={} -> {} communities, modularity {:.4}, coverage {:.4}, {:.3}s ({:.1}M edges/s){termination_note}",
         algo.name(),
         g.node_count(),
         g.edge_count(),

@@ -54,6 +54,7 @@ fn print_usage() {
          \x20 generate --model <lfr|rmat|ba|ws|er|grid|planted|cliques> --out FILE [model flags] [--truth FILE]\n\
          \x20 detect   --input FILE --algo <plp|plm|plmr|epp|eppr|eml|louvain|pam|cel|cnm|rg|cggc|cggci>\n\
          \x20          [--out FILE] [--threads N] [--gamma X] [--ensemble B] [--seed S] [--report json]\n\
+         \x20          [--timeout SECS] [--max-sweeps N] [--max-nodes N] [--max-edges M]\n\
          \x20 stats    --input FILE\n\
          \x20 compare  --a PARTITION --b PARTITION\n\
          \x20 cg       --input FILE --partition FILE --out FILE.dot\n\

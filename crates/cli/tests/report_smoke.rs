@@ -57,6 +57,82 @@ fn detect_report_json_emits_a_valid_run_report() {
 }
 
 #[test]
+fn detect_with_max_sweeps_reports_termination() {
+    let graph = temp_graph("budget.metis");
+    let out = parcom()
+        .args([
+            "detect",
+            "--algo",
+            "louvain",
+            "--max-sweeps",
+            "1",
+            "--report",
+            "json",
+        ])
+        .arg("--input")
+        .arg(&graph)
+        .env_remove("PARCOM_OBS")
+        .output()
+        .expect("binary runs");
+    // a budget expiry degrades gracefully: exit 0, valid JSON, cause named
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    parcom_obs::json::validate(stdout.trim()).expect("stdout is valid JSON");
+    assert!(
+        stdout.contains("\"termination\":\"iteration-cap\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"cut_phase\":"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("terminated early"), "{stderr}");
+}
+
+#[test]
+fn detect_with_generous_timeout_converges() {
+    let graph = temp_graph("deadline.metis");
+    let out = parcom()
+        .args([
+            "detect",
+            "--algo",
+            "plm",
+            "--timeout",
+            "300",
+            "--report",
+            "json",
+        ])
+        .arg("--input")
+        .arg(&graph)
+        .env_remove("PARCOM_OBS")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // far-away deadline: the run converges and says so in the report
+    assert!(stdout.contains("\"termination\":\"converged\""), "{stdout}");
+    assert!(stdout.contains("\"cut_phase\":null"), "{stdout}");
+}
+
+#[test]
+fn detect_rejects_input_beyond_ingest_limit() {
+    let graph = temp_graph("toolarge.metis");
+    let out = parcom()
+        .args(["detect", "--algo", "plm", "--max-nodes", "10"])
+        .arg("--input")
+        .arg(&graph)
+        .output()
+        .expect("binary runs");
+    // the 128-node fixture exceeds the 10-node limit: hard error, context
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("ingest limit"), "{stderr}");
+    assert!(stderr.contains("toolarge.metis"), "{stderr}");
+}
+
+#[test]
 fn detect_without_report_keeps_stdout_human() {
     let graph = temp_graph("plain.metis");
     let out = parcom()

@@ -1,7 +1,74 @@
 //! The common interface of all community detection algorithms.
 
 use parcom_graph::{Graph, Partition};
+use parcom_guard::{Budget, Termination};
 use parcom_obs::{Recorder, RunReport};
+
+/// The outcome of a budgeted run ([`CommunityDetector::detect_guarded`]):
+/// the partition — degraded to the best valid one found so far when the
+/// budget expired mid-run — plus why the run stopped and its report. The
+/// report's `termination` field always carries
+/// [`Termination::as_str`]; `cut_phase` names the phase that was executing
+/// when the budget expired, for interrupted runs.
+#[derive(Clone, Debug)]
+pub struct GuardedResult {
+    /// The detected (or partially detected) community assignment. Always a
+    /// valid partition of the input graph, whatever the termination cause.
+    pub partition: Partition,
+    /// How the run ended.
+    pub termination: Termination,
+    /// The instrumented run report, with termination cause recorded.
+    pub report: RunReport,
+}
+
+/// Stamps the termination cause (and, for interrupted runs, the cut
+/// phase) onto a finished report — the single way detectors build a
+/// [`GuardedResult`], so the report and the result can't disagree.
+pub(crate) fn guarded_result(
+    partition: Partition,
+    termination: Termination,
+    cut_phase: Option<String>,
+    mut report: RunReport,
+) -> GuardedResult {
+    report.termination = Some(termination.as_str().to_string());
+    report.cut_phase = if termination.interrupted() {
+        cut_phase
+    } else {
+        None
+    };
+    GuardedResult {
+        partition,
+        termination,
+        report,
+    }
+}
+
+/// The shared preflight of every `detect_guarded`: input admission and an
+/// already-expired budget both short-circuit to a singleton partition
+/// (every node its own community — trivially valid) before any real work
+/// or allocation happens.
+// the Err IS the early-return value; boxing it would force every
+// detect_guarded to unbox on the cold path for no benefit
+#[allow(clippy::result_large_err)]
+pub(crate) fn guard_preflight(
+    name: String,
+    g: &Graph,
+    budget: &Budget,
+) -> Result<(), GuardedResult> {
+    let early = match budget.admits(g.node_count(), g.edge_count()) {
+        Err(t) => Some(t),
+        Ok(()) => budget.check().err(),
+    };
+    match early {
+        Some(t) => Err(guarded_result(
+            Partition::singleton(g.node_count()),
+            t,
+            None,
+            RunReport::empty(name),
+        )),
+        None => Ok(()),
+    }
+}
 
 /// A (possibly stateful) community detection algorithm.
 ///
@@ -51,6 +118,29 @@ pub trait CommunityDetector {
         rec.counter("communities", zeta.number_of_subsets() as u64);
         (zeta, rec.finish(self.name()))
     }
+
+    /// Detects communities under a run [`Budget`].
+    ///
+    /// The contract (see DESIGN.md §11): the budget is checked at
+    /// sweep/level/ensemble-member boundaries — never per edge — and when
+    /// it expires the run *degrades gracefully*: it flattens and returns
+    /// the best valid partition found so far (the current hierarchy level
+    /// projected back to the fine graph) instead of panicking or running
+    /// on. [`GuardedResult::termination`] says how the run ended and the
+    /// report's `cut_phase` which phase was interrupted.
+    ///
+    /// The default implementation only guards the *boundaries*: input
+    /// admission and an expired budget short-circuit before work starts,
+    /// and otherwise the full [`detect_with_report`](Self::detect_with_report)
+    /// runs to convergence. Every detector in this crate overrides it with
+    /// real mid-run checks.
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let (partition, report) = self.detect_with_report(g);
+        guarded_result(partition, Termination::Converged, None, report)
+    }
 }
 
 impl<T: CommunityDetector + ?Sized> CommunityDetector for Box<T> {
@@ -71,6 +161,10 @@ impl<T: CommunityDetector + ?Sized> CommunityDetector for Box<T> {
 
     fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
         (**self).detect_with_report(g)
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        (**self).detect_guarded(g, budget)
     }
 }
 
@@ -138,5 +232,58 @@ mod tests {
         // the override's report shape, not the default's
         assert_eq!(report.counter("seed"), Some(42));
         assert!(report.phases.is_empty());
+    }
+
+    #[test]
+    fn default_guarded_run_converges() {
+        let g = parcom_graph::GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let r = Trivial.detect_guarded(&g, &Budget::unlimited());
+        assert_eq!(r.termination, Termination::Converged);
+        assert_eq!(r.partition.number_of_subsets(), 1);
+        assert_eq!(r.report.termination.as_deref(), Some("converged"));
+        assert_eq!(r.report.cut_phase, None);
+    }
+
+    #[test]
+    fn preflight_rejects_oversized_input_before_any_work() {
+        let g = parcom_graph::GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let budget = Budget::unlimited().with_input_limits(2, 100);
+        let r = Trivial.detect_guarded(&g, &budget);
+        assert_eq!(r.termination, Termination::InputRejected);
+        // degraded result: the trivially valid singleton partition
+        assert_eq!(r.partition.len(), 3);
+        assert_eq!(r.partition.number_of_subsets(), 3);
+        assert_eq!(r.report.termination.as_deref(), Some("input-rejected"));
+    }
+
+    #[test]
+    fn preflight_catches_already_expired_budget() {
+        let g = parcom_graph::GraphBuilder::from_edges(2, &[(0, 1)]);
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = Trivial.detect_guarded(&g, &budget);
+        assert_eq!(r.termination, Termination::Deadline);
+        assert_eq!(r.partition.len(), 2);
+    }
+
+    #[test]
+    fn boxing_forwards_detect_guarded() {
+        struct Guarded;
+        impl CommunityDetector for Guarded {
+            fn name(&self) -> String {
+                "Guarded".into()
+            }
+            fn detect(&mut self, g: &Graph) -> Partition {
+                Partition::singleton(g.node_count())
+            }
+            fn detect_guarded(&mut self, g: &Graph, _budget: &Budget) -> GuardedResult {
+                let mut report = RunReport::empty(self.name());
+                report.counters.push(("custom".into(), 1));
+                guarded_result(self.detect(g), Termination::Converged, None, report)
+            }
+        }
+        let mut boxed: Box<dyn CommunityDetector + Send> = Box::new(Guarded);
+        let g = parcom_graph::GraphBuilder::from_edges(2, &[(0, 1)]);
+        let r = boxed.detect_guarded(&g, &Budget::unlimited());
+        assert_eq!(r.report.counter("custom"), Some(1));
     }
 }

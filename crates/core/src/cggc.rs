@@ -8,11 +8,13 @@
 //! improving modularity — and then applies the final algorithm. Both are
 //! qualitatively at the top of the field and, like the originals, expensive.
 
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use crate::combine::core_communities;
 use crate::quality::modularity_gamma;
 use crate::rg::Rg;
 use parcom_graph::{coarsen, Coarsening, Graph, Partition};
+use parcom_guard::{Budget, Termination};
+use parcom_obs::{Recorder, RunReport};
 use rayon::prelude::*;
 
 /// The core-groups ensemble over RG.
@@ -53,11 +55,16 @@ impl Cggc {
         }
     }
 
-    fn ensemble_core(&self, g: &Graph, level: usize) -> Partition {
+    /// One ensemble round: every RG member shares the caller's budget, so
+    /// an expiring deadline or a cancel stops all of them within a merge
+    /// interval — each returns its best dendrogram cut so far, and the
+    /// consensus of degraded members is still a valid (if coarse) core
+    /// grouping.
+    fn ensemble_core(&self, g: &Graph, level: usize, budget: &Budget) -> Partition {
         let solutions: Vec<Partition> = (0..self.ensemble_size)
             .into_par_iter()
             .map(|i| {
-                let mut rg = Rg {
+                let rg = Rg {
                     sample_size: self.rg_sample_size,
                     gamma: self.gamma,
                     seed: self
@@ -65,7 +72,7 @@ impl Cggc {
                         .wrapping_add((level as u64) << 32)
                         .wrapping_add(i as u64 + 1),
                 };
-                rg.detect(g)
+                rg.run_guarded(g, &Recorder::disabled(), budget).0
             })
             .collect();
         core_communities(&solutions)
@@ -78,33 +85,55 @@ impl Cggc {
         }
         zeta
     }
-}
 
-impl CommunityDetector for Cggc {
-    fn name(&self) -> String {
-        if self.iterated {
-            "CGGCi".into()
-        } else {
-            "CGGC".into()
-        }
-    }
-
-    fn set_seed(&mut self, seed: u64) {
-        self.seed = seed;
-    }
-
-    fn detect(&mut self, g: &Graph) -> Partition {
+    /// The ensemble hierarchy under a recorder and a budget, shared by
+    /// every entry point. The budget is tested at ensemble-level
+    /// boundaries (each ensemble round consumes one sweep) and passed down
+    /// into the RG members; on expiry the committed chain so far is
+    /// finished off by the guarded final RG and prolonged — every
+    /// committed contraction improved modularity on `g`, so the degraded
+    /// result is a valid consensus prefix.
+    fn run_guarded(
+        &self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         let n = g.node_count();
         if n == 0 {
-            return Partition::singleton(0);
+            return (Partition::singleton(0), Termination::Converged, None);
         }
 
         let mut chain: Vec<Coarsening> = Vec::new();
         let mut current = g.clone();
         let mut best_core_q = f64::NEG_INFINITY;
+        let mut termination = Termination::Converged;
+        let mut cut_phase = None;
 
         for level in 0..self.max_levels {
-            let core = self.ensemble_core(&current, level);
+            if let Err(t) = budget.check_sweep() {
+                termination = t;
+                cut_phase = Some(format!("level-{level}/ensemble"));
+                break;
+            }
+            let level_span = rec.span_fmt(format_args!("level-{level}"));
+            level_span.counter("nodes", current.node_count() as u64);
+            level_span.counter("edges", current.edge_count() as u64);
+            let core = {
+                let span = rec.span("ensemble");
+                let core = self.ensemble_core(&current, level, budget);
+                span.counter("members", self.ensemble_size as u64);
+                span.counter("core-groups", core.number_of_subsets() as u64);
+                core
+            };
+            // an expiry mid-ensemble degrades the members to near-singleton
+            // cuts; record the cause here rather than mistaking the
+            // uncontractable consensus for convergence
+            if let Err(t) = budget.check() {
+                termination = t;
+                cut_phase = Some(format!("level-{level}/ensemble"));
+                break;
+            }
             if core.number_of_subsets() >= current.node_count() {
                 break; // consensus is all-singletons: no contraction possible
             }
@@ -132,15 +161,67 @@ impl CommunityDetector for Cggc {
             current = coarse;
         }
 
-        let mut final_rg = Rg {
+        let final_rg = Rg {
             sample_size: 2,
             gamma: self.gamma,
             seed: self.seed.wrapping_mul(0x9e3779b9).wrapping_add(7),
         };
-        let coarse_solution = final_rg.detect(&current);
+        let (coarse_solution, final_term, _) = {
+            let span = rec.span("final-rg");
+            let out = final_rg.run_guarded(&current, rec, budget);
+            span.counter("coarse-nodes", current.node_count() as u64);
+            out
+        };
+        if !termination.interrupted() && final_term.interrupted() {
+            termination = final_term;
+            cut_phase = Some("final-rg".into());
+        }
         let mut zeta = Self::prolong_chain(&chain, coarse_solution);
         zeta.compact();
-        zeta
+        (zeta, termination, cut_phase)
+    }
+}
+
+impl CommunityDetector for Cggc {
+    fn name(&self) -> String {
+        if self.iterated {
+            "CGGCi".into()
+        } else {
+            "CGGC".into()
+        }
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run_guarded(g, &Recorder::disabled(), &Budget::unlimited())
+            .0
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, _, _) = self.run_guarded(g, &rec, &Budget::unlimited());
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric("modularity", modularity_gamma(g, &zeta, self.gamma));
+        }
+        (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
     }
 }
 
@@ -194,6 +275,31 @@ mod tests {
             qi >= q1 - 0.03,
             "CGGCi ({qi}) clearly worse than CGGC ({q1})"
         );
+    }
+
+    #[test]
+    fn report_has_ensemble_phases() {
+        let (g, _) = ring_of_cliques(6, 6);
+        let (_, report) = Cggc::new(3).detect_with_report(&g);
+        let level0 = report.phase("level-0").expect("level-0 phase");
+        let ensemble = level0.child("ensemble").expect("ensemble child");
+        assert_eq!(ensemble.counter("members"), Some(3));
+        assert!(ensemble.counter("core-groups").unwrap() > 0);
+        assert!(report.phase("final-rg").is_some());
+        assert!(report.metric("modularity").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn guarded_iteration_cap_cuts_at_ensemble_boundary() {
+        let (g, _) = lfr(LfrParams::benchmark(500, 0.35), 33);
+        // zero sweeps: the first ensemble round is denied, the guarded
+        // final RG still produces a valid (unprolonged) partition
+        let budget = Budget::unlimited().with_max_sweeps(0);
+        let r = Cggc::iterated(3).detect_guarded(&g, &budget);
+        assert_eq!(r.termination, Termination::IterationCap);
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate().is_ok());
+        assert!(r.report.cut_phase.as_deref().unwrap().starts_with("level-"));
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! and are discarded on pop if either community has changed since.
 
 use crate::agglomeration::{MergeState, OrderedDelta};
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
+use crate::rg::MERGE_CHECK_INTERVAL;
 use parcom_graph::{Graph, Partition};
+use parcom_guard::{Budget, Pacer, Termination};
+use parcom_obs::{Recorder, RunReport};
 use std::collections::BinaryHeap;
 
 /// The CNM greedy modularity agglomerator.
@@ -45,22 +48,33 @@ impl Ord for Candidate {
     }
 }
 
-impl CommunityDetector for Cnm {
-    fn name(&self) -> String {
-        "CNM".into()
-    }
-
-    fn detect(&mut self, g: &Graph) -> Partition {
+impl Cnm {
+    /// The greedy merge loop under a recorder and a budget, shared by
+    /// every entry point. The budget is paced at one check per
+    /// [`MERGE_CHECK_INTERVAL`] heap pops; CNM only ever executes
+    /// improving merges, so the state at *any* interruption point is the
+    /// best partition on its greedy path so far — degradation just stops
+    /// merging early.
+    fn run_guarded(
+        &self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         let n = g.node_count();
         if n == 0 {
-            return Partition::singleton(0);
+            return (Partition::singleton(0), Termination::Converged, None);
         }
         if g.total_edge_weight() == 0.0 {
-            return Partition::singleton(n);
+            return (Partition::singleton(n), Termination::Converged, None);
         }
+        let seed_span = rec.span("seed-heap");
         let mut state = MergeState::new(g, self.gamma);
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
 
+        // bounded O(m) seeding pass; the paced budget checks start with the
+        // very next loop, so a deadline is noticed within one interval
+        // audit:allow(budget-check)
         for a in 0..n as u32 {
             for (&b, _) in state.between[a as usize].iter() {
                 if a < b {
@@ -74,8 +88,20 @@ impl CommunityDetector for Cnm {
                 }
             }
         }
+        seed_span.counter("candidates", heap.len() as u64);
+        seed_span.close();
 
+        let merge_span = rec.span("agglomerate");
+        let mut merges = 0u64;
+        let mut termination = Termination::Converged;
+        let mut pacer = Pacer::new(MERGE_CHECK_INTERVAL);
         while let Some(cand) = heap.pop() {
+            if pacer.tick() {
+                if let Err(t) = budget.check() {
+                    termination = t;
+                    break;
+                }
+            }
             let (a, b) = (cand.a, cand.b);
             if !state.active[a as usize]
                 || !state.active[b as usize]
@@ -88,6 +114,7 @@ impl CommunityDetector for Cnm {
                 break; // global maximum reached
             }
             let survivor = state.merge(a, b);
+            merges += 1;
             // re-queue candidates around the merged community
             let neighbors: Vec<u32> = state.between[survivor as usize].keys().copied().collect();
             for c in neighbors {
@@ -100,8 +127,49 @@ impl CommunityDetector for Cnm {
                 });
             }
         }
+        merge_span.counter("merges", merges);
+        merge_span.close();
 
-        state.to_partition()
+        (
+            state.to_partition(),
+            termination,
+            Some("agglomerate".into()),
+        )
+    }
+}
+
+impl CommunityDetector for Cnm {
+    fn name(&self) -> String {
+        "CNM".into()
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run_guarded(g, &Recorder::disabled(), &Budget::unlimited())
+            .0
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, _, _) = self.run_guarded(g, &rec, &Budget::unlimited());
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric("modularity", crate::quality::modularity(g, &zeta));
+        }
+        (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
     }
 }
 
@@ -154,6 +222,30 @@ mod tests {
         let (g, _) = ring_of_cliques(2, 5);
         let zeta = Cnm::new().detect(&g);
         assert_eq!(zeta.number_of_subsets(), 2);
+    }
+
+    #[test]
+    fn report_has_agglomeration_phases() {
+        let (g, _) = ring_of_cliques(5, 5);
+        let (_, report) = Cnm::new().detect_with_report(&g);
+        let seed = report.phase("seed-heap").expect("seed-heap phase");
+        assert!(seed.counter("candidates").unwrap() > 0);
+        let agg = report.phase("agglomerate").expect("agglomerate phase");
+        assert!(agg.counter("merges").unwrap() > 0);
+        assert!(report.metric("modularity").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn guarded_cancellation_stops_merging_early() {
+        let (g, _) = lfr(LfrParams::benchmark(600, 0.3), 3);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_token(token);
+        let r = Cnm::new().detect_guarded(&g, &budget);
+        assert_eq!(r.termination, Termination::Cancelled);
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate().is_ok());
+        assert_eq!(r.report.termination.as_deref(), Some("cancelled"));
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! coarse graph, and the result is prolonged back. This trades a little
 //! quality for a large speedup on big graphs (§III-D, Fig. 4).
 
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use crate::combine::core_communities;
 use crate::plm::Plm;
 use crate::plp::Plp;
 use parcom_graph::{coarsen, coarsen_with, Graph, Partition};
+use parcom_guard::{faultpoint, Budget, Termination};
 use parcom_obs::{Recorder, RunReport};
 use rayon::prelude::*;
 
@@ -81,33 +82,46 @@ impl Epp {
         self.bases.len()
     }
 
-    fn run(&mut self, g: &Graph, rec: &Recorder) -> Partition {
+    /// The ensemble pipeline under a recorder and a budget, shared by
+    /// every entry point. The budget is shared with every ensemble member
+    /// and with the final algorithm via their own `detect_guarded`
+    /// boundaries; an expiry during the ensemble degrades to the consensus
+    /// of the (partial) member solutions — a valid, if conservative,
+    /// partition of the input graph — and an expiry during the final phase
+    /// prolongs whatever the final algorithm could finish.
+    fn run_guarded(
+        &mut self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         // 1. base solutions, in parallel; with an enabled recorder each
         //    member contributes its own sub-report
         let collect_reports = rec.is_enabled();
-        let base_solutions: Vec<Partition> = {
+        let (base_solutions, member_term) = {
             let _span = rec.span("ensemble");
-            let results: Vec<(Partition, Option<RunReport>)> = self
+            let results: Vec<(Partition, Termination, Option<RunReport>)> = self
                 .bases
                 .par_iter_mut()
                 .map(|base| {
-                    if collect_reports {
-                        let (zeta, report) = base.detect_with_report(g);
-                        (zeta, Some(report))
-                    } else {
-                        (base.detect(g), None)
-                    }
+                    faultpoint!("core/epp-member");
+                    let r = base.detect_guarded(g, budget);
+                    let report = collect_reports.then_some(r.report);
+                    (r.partition, r.termination, report)
                 })
                 .collect();
-            results
-                .into_iter()
-                .map(|(zeta, report)| {
-                    if let Some(r) = report {
-                        rec.sub_report(r);
-                    }
-                    zeta
-                })
-                .collect()
+            let mut member_term = Termination::Converged;
+            let mut solutions = Vec::with_capacity(results.len());
+            for (zeta, term, report) in results {
+                if let Some(r) = report {
+                    rec.sub_report(r);
+                }
+                if term.interrupted() && !member_term.interrupted() {
+                    member_term = term;
+                }
+                solutions.push(zeta);
+            }
+            (solutions, member_term)
         };
 
         // 2. consensus core communities
@@ -118,17 +132,32 @@ impl Epp {
             core
         };
 
+        // Expiry during the ensemble: the consensus of the partial member
+        // solutions is itself a valid partition of `g` — return it instead
+        // of spending more time on contraction and the final algorithm.
+        if member_term.interrupted() {
+            let mut zeta = core;
+            zeta.compact();
+            return (zeta, member_term, Some("ensemble".into()));
+        }
+        if let Err(t) = budget.check() {
+            let mut zeta = core;
+            zeta.compact();
+            return (zeta, t, Some("consensus".into()));
+        }
+
         // 3. contract (a `coarsen` span) and solve with the final algorithm
         let contraction = coarsen_with(g, &core, rec);
-        let coarse_solution = {
+        let (coarse_solution, final_term, final_cut) = {
             let _span = rec.span("final");
+            let r = self
+                .final_algorithm
+                .detect_guarded(&contraction.coarse, budget);
+            let cut = r.report.cut_phase.clone();
             if collect_reports {
-                let (zeta, report) = self.final_algorithm.detect_with_report(&contraction.coarse);
-                rec.sub_report(report);
-                zeta
-            } else {
-                self.final_algorithm.detect(&contraction.coarse)
+                rec.sub_report(r.report);
             }
+            (r.partition, r.termination, cut)
         };
 
         // 4. prolong back to the input graph
@@ -156,7 +185,14 @@ impl Epp {
                 panic!("EPP postcondition violated: final solution splits a core community");
             }
         }
-        zeta
+        if final_term.interrupted() {
+            let cut = match final_cut {
+                Some(inner) => format!("final/{inner}"),
+                None => "final".into(),
+            };
+            return (zeta, final_term, Some(cut));
+        }
+        (zeta, Termination::Converged, None)
     }
 }
 
@@ -171,7 +207,8 @@ impl CommunityDetector for Epp {
     }
 
     fn detect(&mut self, g: &Graph) -> Partition {
-        self.run(g, &Recorder::disabled())
+        self.run_guarded(g, &Recorder::disabled(), &Budget::unlimited())
+            .0
     }
 
     /// Distributes distinct seeds derived from `seed` to the ensemble
@@ -189,12 +226,25 @@ impl CommunityDetector for Epp {
         rec.counter("nodes", g.node_count() as u64);
         rec.counter("edges", g.edge_count() as u64);
         rec.counter("ensemble-size", self.bases.len() as u64);
-        let zeta = self.run(g, &rec);
+        let (zeta, _, _) = self.run_guarded(g, &rec, &Budget::unlimited());
         rec.counter("communities", zeta.number_of_subsets() as u64);
         if rec.is_enabled() {
             rec.metric("modularity", crate::quality::modularity(g, &zeta));
         }
         (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        rec.counter("ensemble-size", self.bases.len() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
     }
 }
 
@@ -226,30 +276,46 @@ impl EppIterated {
     }
 }
 
-impl CommunityDetector for EppIterated {
-    fn name(&self) -> String {
-        format!("EML({},PLP,PLM)", self.ensemble_size)
-    }
-
-    fn set_seed(&mut self, seed: u64) {
-        self.seed = seed;
-    }
-
-    fn detect(&mut self, g: &Graph) -> Partition {
+impl EppIterated {
+    /// The iterated ensemble under a recorder and a budget. Each ensemble
+    /// round consumes one sweep; the budget is shared with the PLP members
+    /// and the final PLM, so expiry degrades to the consensus prefix
+    /// committed so far, finished off by whatever PLM could do.
+    fn run_guarded(
+        &self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         use crate::quality::modularity;
         let mut chain: Vec<parcom_graph::Coarsening> = Vec::new();
         let mut current = g.clone();
         let mut best_q = f64::NEG_INFINITY;
+        let mut termination = Termination::Converged;
+        let mut cut_phase = None;
 
         for level in 0..self.max_levels {
+            if let Err(t) = budget.check_sweep() {
+                termination = t;
+                cut_phase = Some(format!("level-{level}/ensemble"));
+                break;
+            }
+            let level_span = rec.span_fmt(format_args!("level-{level}"));
+            level_span.counter("nodes", current.node_count() as u64);
             let bases: Vec<Partition> = (0..self.ensemble_size)
                 .into_par_iter()
                 .map(|i| {
+                    faultpoint!("core/epp-member");
                     let mut plp = seeded_plp(self.seed + ((level as u64) << 32) + i as u64 + 1);
-                    plp.detect(&current)
+                    plp.detect_guarded(&current, budget).partition
                 })
                 .collect();
             let core = core_communities(&bases);
+            if let Err(t) = budget.check() {
+                termination = t;
+                cut_phase = Some(format!("level-{level}/ensemble"));
+                break;
+            }
             if core.number_of_subsets() >= current.node_count() {
                 break;
             }
@@ -273,12 +339,60 @@ impl CommunityDetector for EppIterated {
             current = coarse;
         }
 
-        let mut zeta = Plm::new().detect(&current);
+        let final_result = {
+            let _span = rec.span("final");
+            Plm::new().detect_guarded(&current, budget)
+        };
+        let mut zeta = final_result.partition;
+        if !termination.interrupted() && final_result.termination.interrupted() {
+            termination = final_result.termination;
+            cut_phase = Some("final".into());
+        }
         for c in chain.iter().rev() {
             zeta = c.prolong(&zeta);
         }
         zeta.compact();
-        zeta
+        (zeta, termination, cut_phase)
+    }
+}
+
+impl CommunityDetector for EppIterated {
+    fn name(&self) -> String {
+        format!("EML({},PLP,PLM)", self.ensemble_size)
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run_guarded(g, &Recorder::disabled(), &Budget::unlimited())
+            .0
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        rec.counter("ensemble-size", self.ensemble_size as u64);
+        let (zeta, _, _) = self.run_guarded(g, &rec, &Budget::unlimited());
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric("modularity", crate::quality::modularity(g, &zeta));
+        }
+        (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
     }
 }
 
@@ -374,6 +488,19 @@ mod tests {
         // members must not share a seed (diversity requires distinct streams)
         let zeta = epp.detect(&g);
         assert!(modularity(&g, &zeta) > 0.5);
+    }
+
+    #[test]
+    fn guarded_ensemble_expiry_returns_consensus() {
+        let (g, _) = lfr(LfrParams::benchmark(1000, 0.35), 24);
+        // one sweep covers PLP member iteration 0; the members hit the cap
+        // mid-run and EPP degrades to the consensus of their partial labels
+        let budget = Budget::unlimited().with_max_sweeps(1);
+        let r = Epp::plp_plm(3).detect_guarded(&g, &budget);
+        assert!(r.termination.interrupted());
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate().is_ok());
+        assert!(r.report.cut_phase.is_some());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod plp;
 pub mod quality;
 pub mod rg;
 
-pub use algorithm::CommunityDetector;
+pub use algorithm::{CommunityDetector, GuardedResult};
 pub use cggc::Cggc;
 pub use cnm::Cnm;
 pub use community_graph::CommunityGraph;
@@ -56,11 +56,16 @@ pub use rg::Rg;
 // downstream users of `detect_with_report` need no direct obs dependency.
 pub use parcom_obs::{PhaseReport, Recorder, RunReport};
 
+// The guard layer `detect_guarded` is driven by, re-exported for the same
+// reason: budgets and termination causes are part of the detector API.
+pub use parcom_guard::{Budget, CancelToken, Termination};
+
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::algorithm::CommunityDetector;
+    pub use crate::algorithm::{CommunityDetector, GuardedResult};
     pub use crate::compare::{adjusted_rand_index, jaccard_index, nmi};
     pub use crate::quality::{coverage, modularity, modularity_gamma};
     pub use crate::{Cggc, Cnm, Epp, Louvain, Pam, Plm, Plp, Rg};
+    pub use parcom_guard::{Budget, CancelToken, Termination};
     pub use parcom_obs::{Recorder, RunReport};
 }

@@ -7,9 +7,11 @@
 //! implementation (the paper credits its marginally better modularity to
 //! exactly this difference).
 
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use crate::quality::delta_modularity;
-use parcom_graph::{coarsen, Graph, Partition, SparseWeightMap};
+use parcom_graph::{coarsen_with, Graph, Partition, SparseWeightMap};
+use parcom_guard::{Budget, Termination};
+use parcom_obs::{Recorder, RunReport};
 use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
 
 /// The sequential Louvain baseline.
@@ -51,19 +53,23 @@ impl Louvain {
         }
     }
 
-    /// One sequential move phase; returns the number of moves. `scratch`
-    /// is the caller-owned weight tally, reused across sweeps and levels.
+    /// One sequential move phase; returns the number of moves and how the
+    /// phase ended. `scratch` is the caller-owned weight tally, reused
+    /// across sweeps and levels. The budget is tested once per sweep; on
+    /// expiry `zeta` stays at the last completed sweep (sequential moves
+    /// keep it valid after every individual move, so any cut is safe).
     fn sequential_move_phase(
         &self,
         g: &Graph,
         zeta: &mut Partition,
         rng: &mut SmallRng,
         scratch: &mut SparseWeightMap,
-    ) -> u64 {
+        budget: &Budget,
+    ) -> (u64, Termination) {
         let n = g.node_count();
         let total = g.total_edge_weight();
         if n == 0 || total == 0.0 {
-            return 0;
+            return (0, Termination::Converged);
         }
         zeta.compact();
         let k = zeta.upper_bound() as usize;
@@ -75,7 +81,12 @@ impl Louvain {
         let mut order: Vec<u32> = (0..n as u32).collect();
         scratch.ensure_capacity(k.max(1));
         let mut total_moves = 0u64;
+        let mut termination = Termination::Converged;
         for _ in 0..self.max_sweeps {
+            if let Err(t) = budget.check_sweep() {
+                termination = t;
+                break;
+            }
             order.shuffle(rng);
             let mut moves = 0u64;
             for &u in &order {
@@ -129,26 +140,65 @@ impl Louvain {
                 break;
             }
         }
-        total_moves
+        (total_moves, termination)
     }
 
+    /// One hierarchy level under a budget; the same degradation contract
+    /// as PLM: on expiry the current level's assignment bubbles up and is
+    /// prolonged to the fine graph by the callers.
     fn run_recursive(
         &self,
         g: &Graph,
         depth: usize,
         rng: &mut SmallRng,
         scratch: &mut SparseWeightMap,
-    ) -> Partition {
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
+        let level = rec.span_fmt(format_args!("level-{depth}"));
+        level.counter("nodes", g.node_count() as u64);
+        level.counter("edges", g.edge_count() as u64);
         let mut zeta = Partition::singleton(g.node_count());
-        let moves = self.sequential_move_phase(g, &mut zeta, rng, scratch);
+        let (moves, move_term) = {
+            let span = rec.span("move-phase");
+            let (moves, term) = self.sequential_move_phase(g, &mut zeta, rng, scratch, budget);
+            span.counter("moves", moves);
+            (moves, term)
+        };
+        if move_term.interrupted() {
+            return (zeta, move_term, Some(format!("level-{depth}/move-phase")));
+        }
         if moves > 0 && depth < self.max_levels {
-            let contraction = coarsen(g, &zeta);
+            if let Err(t) = budget.check() {
+                return (zeta, t, Some(format!("level-{depth}/coarsen")));
+            }
+            let contraction = coarsen_with(g, &zeta, rec);
             if contraction.coarse.node_count() < g.node_count() {
-                let coarse = self.run_recursive(&contraction.coarse, depth + 1, rng, scratch);
+                let (coarse, term, cut) =
+                    self.run_recursive(&contraction.coarse, depth + 1, rng, scratch, rec, budget);
                 zeta = contraction.prolong(&coarse);
+                if term.interrupted() {
+                    return (zeta, term, cut);
+                }
             }
         }
-        zeta
+        (zeta, Termination::Converged, None)
+    }
+
+    fn run_guarded(
+        &self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        // One scratch map for the whole hierarchy: level 0 sizes it (k = n
+        // singleton communities), coarser levels reuse it as-is.
+        let mut scratch = SparseWeightMap::with_capacity(g.node_count().max(1));
+        let (mut zeta, termination, cut_phase) =
+            self.run_recursive(g, 0, &mut rng, &mut scratch, rec, budget);
+        zeta.compact();
+        (zeta, termination, cut_phase)
     }
 }
 
@@ -158,17 +208,39 @@ impl CommunityDetector for Louvain {
     }
 
     fn detect(&mut self, g: &Graph) -> Partition {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        // One scratch map for the whole hierarchy: level 0 sizes it (k = n
-        // singleton communities), coarser levels reuse it as-is.
-        let mut scratch = SparseWeightMap::with_capacity(g.node_count().max(1));
-        let mut zeta = self.run_recursive(g, 0, &mut rng, &mut scratch);
-        zeta.compact();
-        zeta
+        self.run_guarded(g, &Recorder::disabled(), &Budget::unlimited())
+            .0
     }
 
     fn set_seed(&mut self, seed: u64) {
         self.seed = seed;
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, _, _) = self.run_guarded(g, &rec, &Budget::unlimited());
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric(
+                "modularity",
+                crate::quality::modularity_gamma(g, &zeta, self.gamma),
+            );
+        }
+        (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
     }
 }
 
@@ -200,9 +272,29 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut scratch = SparseWeightMap::new();
         let before = modularity(&g, &zeta);
-        louvain.sequential_move_phase(&g, &mut zeta, &mut rng, &mut scratch);
+        louvain.sequential_move_phase(&g, &mut zeta, &mut rng, &mut scratch, &Budget::unlimited());
         let after = modularity(&g, &zeta);
         assert!(after >= before - 1e-12, "{after} < {before}");
+    }
+
+    #[test]
+    fn report_has_level_phases() {
+        let (g, _) = ring_of_cliques(6, 6);
+        let (_, report) = Louvain::new().detect_with_report(&g);
+        let level0 = report.phase("level-0").expect("level-0 phase");
+        assert!(level0.child("move-phase").is_some());
+        assert!(report.metric("modularity").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn guarded_sweep_cap_degrades_gracefully() {
+        let (g, _) = lfr(LfrParams::benchmark(1500, 0.3), 6);
+        let budget = Budget::unlimited().with_max_sweeps(1);
+        let r = Louvain::new().detect_guarded(&g, &budget);
+        assert_eq!(r.termination, Termination::IterationCap);
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate_dense().is_ok());
+        assert!(r.report.cut_phase.as_deref().unwrap().starts_with("level-"));
     }
 
     #[test]

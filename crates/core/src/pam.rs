@@ -11,8 +11,10 @@
 //! * **CEL** (the community-el analogue, Riedy et al.): the same scheme
 //!   without the star adaptation.
 
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use parcom_graph::{coarsen, Graph, Partition};
+use parcom_guard::{Budget, Termination};
+use parcom_obs::{Recorder, RunReport};
 use rayon::prelude::*;
 
 /// Matching-based parallel agglomerator.
@@ -51,19 +53,22 @@ impl Default for Pam {
     }
 }
 
-impl CommunityDetector for Pam {
-    fn name(&self) -> String {
-        if self.star_adaptation {
-            "PAM".into()
-        } else {
-            "CEL".into()
-        }
-    }
-
-    fn detect(&mut self, g: &Graph) -> Partition {
+impl Pam {
+    /// The contraction hierarchy under a recorder and a budget, shared by
+    /// every entry point. The budget is tested once per level (a level is
+    /// one full parallel matching + contraction, PAM's natural sweep
+    /// boundary); on expiry the loop stops and the best level *completed
+    /// so far* is returned — exactly what an uninterrupted run returns
+    /// when the tracked maximum lies at that level.
+    fn run_guarded(
+        &self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         let n = g.node_count();
         if n == 0 {
-            return Partition::singleton(0);
+            return (Partition::singleton(0), Termination::Converged, None);
         }
         let mut overall: Vec<u32> = (0..n as u32).collect();
         let mut current = g.clone();
@@ -72,11 +77,22 @@ impl CommunityDetector for Pam {
         let mut best_partition = Partition::singleton(n);
         let mut best_q = crate::quality::modularity_gamma(g, &best_partition, self.gamma);
 
-        for _level in 0..self.max_levels {
+        let mut termination = Termination::Converged;
+        let mut cut_phase = None;
+
+        for level in 0..self.max_levels {
+            if let Err(t) = budget.check_sweep() {
+                termination = t;
+                cut_phase = Some(format!("level-{level}/match"));
+                break;
+            }
             let total = current.total_edge_weight();
             if total == 0.0 {
                 break;
             }
+            let level_span = rec.span_fmt(format_args!("level-{level}"));
+            level_span.counter("nodes", current.node_count() as u64);
+            level_span.counter("edges", current.edge_count() as u64);
             // Every node's best merge partner by Δmod of contracting the
             // edge. Score ties are broken by a *symmetric* pair hash: both
             // endpoints rank a tied pair identically, so regular structures
@@ -163,6 +179,10 @@ impl CommunityDetector for Pam {
             if !merged_any {
                 break;
             }
+            level_span.counter(
+                "matched",
+                group.iter().filter(|&&gr| gr != UNMATCHED).count() as u64,
+            );
             for (v, gr) in group.iter_mut().enumerate() {
                 if *gr == UNMATCHED {
                     *gr = v as u32;
@@ -189,7 +209,49 @@ impl CommunityDetector for Pam {
 
         let mut zeta = best_partition;
         zeta.compact();
-        zeta
+        (zeta, termination, cut_phase)
+    }
+}
+
+impl CommunityDetector for Pam {
+    fn name(&self) -> String {
+        if self.star_adaptation {
+            "PAM".into()
+        } else {
+            "CEL".into()
+        }
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run_guarded(g, &Recorder::disabled(), &Budget::unlimited())
+            .0
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, _, _) = self.run_guarded(g, &rec, &Budget::unlimited());
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric(
+                "modularity",
+                crate::quality::modularity_gamma(g, &zeta, self.gamma),
+            );
+        }
+        (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
     }
 }
 
@@ -252,6 +314,27 @@ mod tests {
     fn edgeless_graph_stays_singleton() {
         let g = GraphBuilder::new(3).build();
         assert_eq!(Pam::new().detect(&g).number_of_subsets(), 3);
+    }
+
+    #[test]
+    fn report_has_level_phases() {
+        let (g, _) = ring_of_cliques(6, 6);
+        let (_, report) = Pam::new().detect_with_report(&g);
+        let level0 = report.phase("level-0").expect("level-0 phase");
+        assert!(level0.counter("matched").unwrap() > 0);
+        assert!(report.metric("modularity").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn guarded_level_cap_returns_best_level_so_far() {
+        let (g, _) = lfr(LfrParams::benchmark(800, 0.3), 11);
+        // one level only: the first matching completes, then the cap fires
+        let budget = Budget::unlimited().with_max_sweeps(1);
+        let r = Pam::new().detect_guarded(&g, &budget);
+        assert_eq!(r.termination, Termination::IterationCap);
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate().is_ok());
+        assert!(r.report.cut_phase.as_deref().unwrap().starts_with("level-"));
     }
 
     #[test]

@@ -16,9 +16,10 @@
 //! re-evaluating node assignments against the coarser level's outcome for
 //! extra modularity at a small time cost (§III-C).
 
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use crate::quality::delta_modularity;
 use parcom_graph::{coarsen_with, AtomicF64, AtomicPartition, Graph, Partition, ScratchPool};
+use parcom_guard::{Budget, Termination};
 use parcom_obs::{CounterCell, LocalCount, Recorder, RunReport};
 use rayon::prelude::*;
 
@@ -100,6 +101,11 @@ impl Plm {
         }
     }
 
+    /// One hierarchy level under a budget. On expiry the recursion stops
+    /// and the *current level's* assignment — valid at every sweep
+    /// boundary — bubbles up, getting prolonged through every caller on
+    /// the way out: exactly the "current hierarchy level projected to the
+    /// fine graph" degradation contract (DESIGN.md §11).
     fn run_recursive(
         &self,
         g: &Graph,
@@ -107,7 +113,8 @@ impl Plm {
         stats: &mut PlmStats,
         rec: &Recorder,
         scratch: &ScratchPool,
-    ) -> Partition {
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         // The whole level — including the recursion into coarser levels —
         // runs inside one `level-{depth}` span, so the report mirrors the
         // hierarchy: level-0 → [move-phase, coarsen, level-1 → […], refine].
@@ -116,55 +123,84 @@ impl Plm {
         level.counter("edges", g.edge_count() as u64);
         stats.level_sizes.push(g.node_count());
         let mut zeta = Partition::singleton(g.node_count());
-        let moves = {
+        let (moves, move_term) = {
             let span = rec.span("move-phase");
-            let moves = move_phase_pooled(
+            let (moves, term) = move_phase_pooled(
                 g,
                 &mut zeta,
                 self.gamma,
                 self.max_move_iterations,
                 rec,
                 scratch,
+                budget,
             );
             span.counter("moves", moves);
-            moves
+            (moves, term)
         };
         stats.moves_per_level.push(moves);
+        if move_term.interrupted() {
+            return (zeta, move_term, Some(format!("level-{depth}/move-phase")));
+        }
 
         if moves > 0 && depth < self.max_levels {
+            // Level boundary: don't start a contraction the budget no
+            // longer covers.
+            if let Err(t) = budget.check() {
+                return (zeta, t, Some(format!("level-{depth}/coarsen")));
+            }
             let contraction = coarsen_with(g, &zeta, rec);
             // progress guard: recursion must strictly shrink the graph
             if contraction.coarse.node_count() < g.node_count() {
-                let coarse_zeta =
-                    self.run_recursive(&contraction.coarse, depth + 1, stats, rec, scratch);
+                let (coarse_zeta, term, cut) =
+                    self.run_recursive(&contraction.coarse, depth + 1, stats, rec, scratch, budget);
                 zeta = contraction.prolong(&coarse_zeta);
+                if term.interrupted() {
+                    return (zeta, term, cut);
+                }
                 if self.refine {
                     let span = rec.span("refine");
-                    let refine_moves = move_phase_pooled(
+                    let (refine_moves, refine_term) = move_phase_pooled(
                         g,
                         &mut zeta,
                         self.gamma,
                         self.max_move_iterations,
                         rec,
                         scratch,
+                        budget,
                     );
                     span.counter("moves", refine_moves);
                     if let Some(m) = stats.moves_per_level.get_mut(depth) {
                         *m += refine_moves;
                     }
+                    if refine_term.interrupted() {
+                        return (zeta, refine_term, Some(format!("level-{depth}/refine")));
+                    }
                 }
             }
         }
-        zeta
+        (zeta, Termination::Converged, None)
     }
 
     fn run(&mut self, g: &Graph, rec: &Recorder) -> Partition {
+        self.run_guarded(g, rec, &Budget::unlimited()).0
+    }
+
+    /// The full hierarchy under a budget; shared by every public entry
+    /// point. Returns the (possibly degraded) fine-graph partition, the
+    /// termination cause and the cut phase name.
+    fn run_guarded(
+        &mut self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         let mut stats = PlmStats::default();
         // One pool for the whole hierarchy: each worker's scratch map is
         // allocated at the level-0 community count and recycled by every
         // sweep of every level below (coarser levels only need less).
         let scratch = ScratchPool::new();
-        let mut zeta = self.run_recursive(g, 0, &mut stats, rec, &scratch);
+        let (mut zeta, termination, cut_phase) =
+            self.run_recursive(g, 0, &mut stats, rec, &scratch, budget);
         #[allow(deprecated)]
         {
             self.last_stats = stats;
@@ -186,7 +222,7 @@ impl Plm {
                 panic!("PLM postcondition violated: {e}");
             }
         }
-        zeta
+        (zeta, termination, cut_phase)
     }
 }
 
@@ -220,6 +256,26 @@ impl CommunityDetector for Plm {
         }
         (zeta, rec.finish(self.name()))
     }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            #[allow(deprecated)]
+            rec.counter("levels", self.last_stats.level_sizes.len() as u64);
+            rec.metric(
+                "modularity",
+                crate::quality::modularity_gamma(g, &zeta, self.gamma),
+            );
+        }
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
+    }
 }
 
 /// The parallel local move phase (Algorithm 2).
@@ -244,12 +300,24 @@ pub fn move_phase_with(
     max_iterations: usize,
     rec: &Recorder,
 ) -> u64 {
-    move_phase_pooled(g, zeta, gamma, max_iterations, rec, &ScratchPool::new())
+    move_phase_pooled(
+        g,
+        zeta,
+        gamma,
+        max_iterations,
+        rec,
+        &ScratchPool::new(),
+        &Budget::unlimited(),
+    )
+    .0
 }
 
 /// [`move_phase_with`] drawing per-thread scratch maps from `scratch`
 /// instead of allocating them — the entry point PLM uses so one pool
-/// serves every sweep of every hierarchy level.
+/// serves every sweep of every hierarchy level. The budget is tested once
+/// per sweep (a sweep touches every node, so per-node checks would cost
+/// more than they save); an interrupted phase leaves `zeta` at the last
+/// completed sweep — a valid assignment by construction.
 fn move_phase_pooled(
     g: &Graph,
     zeta: &mut Partition,
@@ -257,14 +325,15 @@ fn move_phase_pooled(
     max_iterations: usize,
     rec: &Recorder,
     scratch: &ScratchPool,
-) -> u64 {
+    budget: &Budget,
+) -> (u64, Termination) {
     let n = g.node_count();
     if n == 0 {
-        return 0;
+        return (0, Termination::Converged);
     }
     let total = g.total_edge_weight();
     if total == 0.0 {
-        return 0;
+        return (0, Termination::Converged);
     }
     zeta.compact();
     let k = zeta.upper_bound() as usize;
@@ -295,7 +364,12 @@ fn move_phase_pooled(
         .collect();
 
     let mut total_moves = 0u64;
+    let mut termination = Termination::Converged;
     for _ in 0..max_iterations {
+        if let Err(t) = budget.check_sweep() {
+            termination = t;
+            break;
+        }
         // Sharded move counter: workers bump thread-local integers that
         // merge into the cell when their state drops at the sweep's end.
         let moves = CounterCell::new();
@@ -357,7 +431,7 @@ fn move_phase_pooled(
     }
 
     *zeta = labels.to_partition();
-    total_moves
+    (total_moves, termination)
 }
 
 #[cfg(test)]
@@ -539,6 +613,42 @@ mod tests {
         assert!(zeta.in_same_subset(0, 1));
         assert!(zeta.in_same_subset(2, 3));
         assert!(!zeta.in_same_subset(1, 2));
+    }
+
+    #[test]
+    fn guarded_unlimited_matches_plain_contract() {
+        let (g, _) = ring_of_cliques(10, 8);
+        let r = Plm::new().detect_guarded(&g, &crate::Budget::unlimited());
+        assert_eq!(r.termination, crate::Termination::Converged);
+        assert_eq!(r.partition.number_of_subsets(), 10);
+        assert!(r.partition.validate_dense().is_ok());
+        assert_eq!(r.report.cut_phase, None);
+    }
+
+    #[test]
+    fn guarded_sweep_cap_cuts_hierarchy_and_names_the_phase() {
+        let (g, _) = lfr(LfrParams::benchmark(3000, 0.3), 5);
+        // Two sweeps: enough to leave level 0 mid-hierarchy on this input.
+        let budget = crate::Budget::unlimited().with_max_sweeps(2);
+        let r = Plm::new().detect_guarded(&g, &budget);
+        assert_eq!(r.termination, crate::Termination::IterationCap);
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate_dense().is_ok());
+        let cut = r.report.cut_phase.as_deref().expect("cut phase recorded");
+        assert!(cut.starts_with("level-"), "unexpected cut phase {cut}");
+        assert_eq!(r.report.termination.as_deref(), Some("iteration-cap"));
+    }
+
+    #[test]
+    fn guarded_expired_mid_run_still_prolongs_to_fine_graph() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.4), 9);
+        // Cancel after the first sweep via the token, mimicking an external
+        // abort between sweeps.
+        let budget = crate::Budget::unlimited().with_max_sweeps(3);
+        let r = Plm::with_refinement().detect_guarded(&g, &budget);
+        // whatever level was reached, the result covers the fine graph
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate_dense().is_ok());
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! label oscillation on bipartite structures and add solution diversity in
 //! the ensemble setting.
 
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use parcom_graph::{AtomicPartition, Graph, Node, Partition, ScratchPool};
+use parcom_guard::{Budget, Termination};
 use parcom_obs::{CounterCell, LocalCount, Recorder, RunReport};
 use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
 use rayon::prelude::*;
@@ -142,6 +143,22 @@ impl Plp {
         initial: Option<&Partition>,
         rec: &Recorder,
     ) -> Partition {
+        self.run_guarded(g, initial, rec, &Budget::unlimited()).0
+    }
+
+    /// [`run_with`](Self::run_with) under a run budget: the budget is
+    /// checked once per iteration (sweep granularity — §III-A iterations
+    /// touch every active node, so per-edge checks would dominate). On
+    /// expiry the loop stops after the last completed iteration; the label
+    /// array at any iteration boundary is a valid assignment, so the
+    /// degraded result is simply the labels so far, compacted.
+    pub(crate) fn run_guarded(
+        &mut self,
+        g: &Graph,
+        initial: Option<&Partition>,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination) {
         let n = g.node_count();
         let labels = match initial {
             Some(p) => AtomicPartition::from_partition(p),
@@ -194,7 +211,12 @@ impl Plp {
         let scratch = ScratchPool::new();
 
         let span = rec.span("label-propagation");
+        let mut termination = Termination::Converged;
         for _iter in 0..self.max_iterations {
+            if let Err(t) = budget.check_sweep() {
+                termination = t;
+                break;
+            }
             if shuffle {
                 order.shuffle(&mut rng);
             }
@@ -296,7 +318,7 @@ impl Plp {
         if let Err(e) = result.validate_dense() {
             panic!("PLP postcondition violated: {e}");
         }
-        result
+        (result, termination)
     }
 }
 
@@ -327,6 +349,26 @@ impl CommunityDetector for Plp {
             rec.metric("modularity", crate::quality::modularity(g, &zeta));
         }
         (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination) = self.run_guarded(g, None, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric("modularity", crate::quality::modularity(g, &zeta));
+        }
+        guarded_result(
+            zeta,
+            termination,
+            Some("label-propagation".into()),
+            rec.finish(self.name()),
+        )
     }
 }
 
@@ -496,6 +538,29 @@ mod tests {
         assert!(first > 0);
         plp.detect(&g);
         assert_eq!(plp.last_stats.iterations(), first);
+    }
+
+    #[test]
+    fn guarded_unlimited_budget_converges() {
+        let (g, _) = ring_of_cliques(6, 8);
+        let r = Plp::new().detect_guarded(&g, &crate::Budget::unlimited());
+        assert_eq!(r.termination, crate::Termination::Converged);
+        assert!(r.partition.validate_dense().is_ok());
+        assert_eq!(r.report.termination.as_deref(), Some("converged"));
+        assert_eq!(r.report.cut_phase, None);
+    }
+
+    #[test]
+    fn guarded_sweep_cap_degrades_to_partial_labels() {
+        let (g, _) = lfr(LfrParams::benchmark(2000, 0.2), 5);
+        let budget = crate::Budget::unlimited().with_max_sweeps(1);
+        let r = Plp::new().detect_guarded(&g, &budget);
+        assert_eq!(r.termination, crate::Termination::IterationCap);
+        // the labels after the single completed sweep are a valid partition
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate_dense().is_ok());
+        assert_eq!(r.report.termination.as_deref(), Some("iteration-cap"));
+        assert_eq!(r.report.cut_phase.as_deref(), Some("label-propagation"));
     }
 
     #[test]

@@ -10,9 +10,17 @@
 //! the DIMACS Pareto challenge (§V-E c).
 
 use crate::agglomeration::MergeState;
-use crate::algorithm::CommunityDetector;
+use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use parcom_graph::{Graph, Partition};
+use parcom_guard::{Budget, Pacer, Termination};
+use parcom_obs::{Recorder, RunReport};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Budget-check amortization for agglomerative merge loops: one check per
+/// this many merges. A merge costs O(degree), so the check amortizes to
+/// well under a nanosecond per merge while still bounding overshoot to a
+/// few milliseconds on real graphs (DESIGN.md §11).
+pub(crate) const MERGE_CHECK_INTERVAL: u32 = 1024;
 
 /// The randomized greedy agglomerator.
 #[derive(Clone, Debug)]
@@ -49,26 +57,28 @@ impl Rg {
             ..Self::default()
         }
     }
-}
 
-impl CommunityDetector for Rg {
-    fn name(&self) -> String {
-        "RG".into()
-    }
-
-    fn set_seed(&mut self, seed: u64) {
-        self.seed = seed;
-    }
-
-    fn detect(&mut self, g: &Graph) -> Partition {
+    /// The full agglomeration under a recorder and a budget, shared by
+    /// every entry point. The budget is checked once per
+    /// [`MERGE_CHECK_INTERVAL`] merges; on expiry the merge loop stops and
+    /// the replay still runs — the degraded result is the best dendrogram
+    /// level *seen so far*, exactly what an uninterrupted run returns when
+    /// the tracked maximum happens to lie at that step.
+    pub(crate) fn run_guarded(
+        &self,
+        g: &Graph,
+        rec: &Recorder,
+        budget: &Budget,
+    ) -> (Partition, Termination, Option<String>) {
         let n = g.node_count();
         if n == 0 {
-            return Partition::singleton(0);
+            return (Partition::singleton(0), Termination::Converged, None);
         }
         if g.total_edge_weight() == 0.0 {
-            return Partition::singleton(n);
+            return (Partition::singleton(n), Termination::Converged, None);
         }
         let mut rng = SmallRng::seed_from_u64(self.seed);
+        let merge_span = rec.span("agglomerate");
         let mut state = MergeState::new(g, self.gamma);
 
         // live community list for O(1) sampling
@@ -78,8 +88,16 @@ impl CommunityDetector for Rg {
         let mut q = state.modularity();
         let mut best_q = q;
         let mut best_step = 0usize;
+        let mut termination = Termination::Converged;
+        let mut pacer = Pacer::new(MERGE_CHECK_INTERVAL);
 
         while state.active_count > 1 {
+            if pacer.tick() {
+                if let Err(t) = budget.check() {
+                    termination = t;
+                    break;
+                }
+            }
             // prune dead entries lazily while sampling
             let mut best: Option<(f64, u32, u32)> = None;
             for _ in 0..self.sample_size {
@@ -150,8 +168,12 @@ impl CommunityDetector for Rg {
             }
             let _ = survivor;
         }
+        merge_span.counter("merges", merge_log.len() as u64);
+        merge_span.counter("best-step", best_step as u64);
+        merge_span.close();
 
         // replay merges up to the best dendrogram level
+        let replay_span = rec.span("replay");
         let mut replay = MergeState::new(g, self.gamma);
         for &(a, b) in merge_log.iter().take(best_step) {
             // ids in the log are live at replay time by construction
@@ -160,7 +182,51 @@ impl CommunityDetector for Rg {
                 replay.merge(ra, rb);
             }
         }
-        replay.to_partition()
+        replay_span.close();
+        (
+            replay.to_partition(),
+            termination,
+            Some("agglomerate".into()),
+        )
+    }
+}
+
+impl CommunityDetector for Rg {
+    fn name(&self) -> String {
+        "RG".into()
+    }
+
+    fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    fn detect(&mut self, g: &Graph) -> Partition {
+        self.run_guarded(g, &Recorder::disabled(), &Budget::unlimited())
+            .0
+    }
+
+    fn detect_with_report(&mut self, g: &Graph) -> (Partition, RunReport) {
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, _, _) = self.run_guarded(g, &rec, &Budget::unlimited());
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        if rec.is_enabled() {
+            rec.metric("modularity", crate::quality::modularity(g, &zeta));
+        }
+        (zeta, rec.finish(self.name()))
+    }
+
+    fn detect_guarded(&mut self, g: &Graph, budget: &Budget) -> GuardedResult {
+        if let Err(early) = guard_preflight(self.name(), g, budget) {
+            return early;
+        }
+        let rec = Recorder::from_env();
+        rec.counter("nodes", g.node_count() as u64);
+        rec.counter("edges", g.edge_count() as u64);
+        let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
+        rec.counter("communities", zeta.number_of_subsets() as u64);
+        guarded_result(zeta, termination, cut_phase, rec.finish(self.name()))
     }
 }
 
@@ -229,6 +295,31 @@ mod tests {
         let b = seeded(2).detect(&g);
         // solutions usually differ in label vectors (grouping may coincide)
         let _ = (a, b); // smoke: both complete without panic
+    }
+
+    #[test]
+    fn report_has_agglomeration_phases() {
+        let (g, _) = ring_of_cliques(5, 5);
+        let (_, report) = Rg::new().detect_with_report(&g);
+        let agg = report.phase("agglomerate").expect("agglomerate phase");
+        assert!(agg.counter("merges").unwrap() > 0);
+        assert!(agg.counter("best-step").unwrap() > 0);
+        assert!(report.phase("replay").is_some());
+        assert!(report.metric("modularity").unwrap() > 0.5);
+    }
+
+    #[test]
+    fn guarded_cancellation_returns_best_seen() {
+        let (g, _) = lfr(LfrParams::benchmark(600, 0.3), 3);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        // cancelled before the first paced check fires mid-merge: RG may
+        // complete up to an interval of merges, but must return cleanly
+        let budget = Budget::unlimited().with_token(token);
+        let r = Rg::new().detect_guarded(&g, &budget);
+        assert_eq!(r.termination, Termination::Cancelled);
+        assert_eq!(r.partition.len(), g.node_count());
+        assert!(r.partition.validate().is_ok());
     }
 
     #[test]

@@ -80,8 +80,10 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
     let parts = rayon::current_num_threads()
         .max(1)
         .min(n.div_ceil(MIN_ROWS_PER_CHUNK));
-    let tasks: Vec<(usize, Range<usize>)> =
-        chunk_ranges(n, parts.max(1)).into_iter().enumerate().collect();
+    let tasks: Vec<(usize, Range<usize>)> = chunk_ranges(n, parts.max(1))
+        .into_iter()
+        .enumerate()
+        .collect();
     let per_chunk: Vec<Vec<(Node, Node, f64)>> = tasks
         .into_par_iter()
         .map(|(ci, rows)| {

@@ -188,6 +188,7 @@ impl GraphBuilder {
     /// duplicate weights are summed, which fixes one canonical summation
     /// order per row.
     pub fn build(self) -> Graph {
+        parcom_guard::faultpoint!("graph/csr-assembly");
         let n = self.n;
         let edges = self.edges;
         let m = edges.len();

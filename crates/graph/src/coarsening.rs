@@ -104,6 +104,7 @@ pub fn coarsen_with(g: &Graph, zeta: &Partition, rec: &Recorder) -> Coarsening {
 
     coarse_edges.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
 
+    parcom_guard::faultpoint!("graph/coarsen-merge");
     // Segmented sum of weights over equal (cu, cv) keys.
     let mut b = GraphBuilder::with_capacity(k, coarse_edges.len().min(k * 8));
     let mut it = coarse_edges.into_iter();

@@ -31,8 +31,7 @@ fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(Node, Node, f64
             w => (w + 1) as f64 / 10.0,
         });
         let edge = (0..n as Node, 0..n as Node, weight);
-        proptest::collection::vec(edge, 0..(6 * n))
-            .prop_map(move |edges| (n, edges))
+        proptest::collection::vec(edge, 0..(6 * n)).prop_map(move |edges| (n, edges))
     })
 }
 

@@ -1,0 +1,77 @@
+//! Abort-path tests for the fault-injection sites planted in the graph
+//! crate: `graph/csr-assembly` (parallel CSR build) and
+//! `graph/coarsen-merge` (contraction's segmented merge). Each site must
+//! survive both fault actions: a cooperative cancel (the token fires, the
+//! operation completes, downstream guarded code aborts) and a panic (the
+//! unwind leaves no global state poisoned — the next call works).
+//!
+//! Compiled only under `--features fault-inject`.
+#![cfg(feature = "fault-inject")]
+
+use parcom_graph::{coarsen, Graph, GraphBuilder, Partition};
+use parcom_guard::fault::{serial_guard, FaultAction, FaultPlan};
+use parcom_guard::CancelToken;
+use std::panic::catch_unwind;
+
+fn ring(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    GraphBuilder::from_edges(n, &edges)
+}
+
+#[test]
+fn csr_assembly_cancel_fires_token_and_still_builds() {
+    let _g = serial_guard();
+    FaultPlan::clear();
+    let token = CancelToken::new();
+    FaultPlan::arm("graph/csr-assembly", 1, FaultAction::Cancel(token.clone()));
+    let g = ring(16);
+    // the cancel is cooperative: assembly itself completes, the token is
+    // left for the downstream guarded run to observe
+    assert!(token.is_cancelled());
+    assert_eq!(g.node_count(), 16);
+    assert_eq!(g.edge_count(), 16);
+    assert_eq!(FaultPlan::crossings("graph/csr-assembly"), 1);
+    FaultPlan::clear();
+}
+
+#[test]
+fn csr_assembly_panic_leaves_the_builder_reusable() {
+    let _g = serial_guard();
+    FaultPlan::clear();
+    FaultPlan::arm("graph/csr-assembly", 1, FaultAction::Panic);
+    assert!(catch_unwind(|| ring(8)).is_err());
+    FaultPlan::clear();
+    // no poisoned mutex, no leaked scratch: the next build succeeds
+    let g = ring(8);
+    assert_eq!(g.node_count(), 8);
+    assert_eq!(g.edge_count(), 8);
+}
+
+#[test]
+fn coarsen_merge_cancel_fires_token_and_still_contracts() {
+    let _g = serial_guard();
+    FaultPlan::clear();
+    let g = ring(12);
+    let zeta = Partition::from_vec((0..12u32).map(|i| i / 3).collect());
+    let token = CancelToken::new();
+    FaultPlan::arm("graph/coarsen-merge", 1, FaultAction::Cancel(token.clone()));
+    let c = coarsen(&g, &zeta);
+    assert!(token.is_cancelled());
+    assert_eq!(c.coarse.node_count(), 4);
+    FaultPlan::clear();
+}
+
+#[test]
+fn coarsen_merge_panic_unwinds_cleanly() {
+    let _g = serial_guard();
+    FaultPlan::clear();
+    let g = ring(12);
+    let zeta = Partition::from_vec((0..12u32).map(|i| i / 3).collect());
+    FaultPlan::arm("graph/coarsen-merge", 1, FaultAction::Panic);
+    assert!(catch_unwind(|| coarsen(&g, &zeta)).is_err());
+    FaultPlan::clear();
+    // the same contraction succeeds after the unwind
+    let c = coarsen(&g, &zeta);
+    assert_eq!(c.coarse.node_count(), 4);
+    assert_eq!(c.fine_to_coarse.len(), 12);
+}

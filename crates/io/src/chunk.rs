@@ -251,15 +251,16 @@ mod tests {
         let text = b"one\ntwo\nthree\nfour\nfive\nsix\n";
         for parts in [1usize, 2, 3, 5, 20] {
             let chunks = chunk_lines(text, parts, 1);
-            let glued: Vec<u8> = chunks.iter().flat_map(|c| c.bytes.iter().copied()).collect();
+            let glued: Vec<u8> = chunks
+                .iter()
+                .flat_map(|c| c.bytes.iter().copied())
+                .collect();
             assert_eq!(glued, text.to_vec());
             // every chunk starts at a line boundary with the right number
             let mut all_lines = Vec::new();
             for c in &chunks {
-                let mut lineno = c.first_line;
-                for l in lines(c.bytes) {
+                for (lineno, l) in (c.first_line..).zip(lines(c.bytes)) {
                     all_lines.push((lineno, l.to_vec()));
-                    lineno += 1;
                 }
             }
             let expect: Vec<(usize, Vec<u8>)> = lines(text)
@@ -274,7 +275,10 @@ mod tests {
     fn chunking_handles_missing_trailing_newline() {
         let text = b"a\nb\nc";
         let chunks = chunk_lines(text, 2, 5);
-        let glued: Vec<u8> = chunks.iter().flat_map(|c| c.bytes.iter().copied()).collect();
+        let glued: Vec<u8> = chunks
+            .iter()
+            .flat_map(|c| c.bytes.iter().copied())
+            .collect();
         assert_eq!(glued, text.to_vec());
         assert_eq!(chunks[0].first_line, 5);
     }

@@ -38,10 +38,7 @@ type RawEdge = (usize, u64, u64, f64);
 fn parse_chunk(c: Chunk<'_>) -> Result<Vec<RawEdge>, IoError> {
     // one record per data line; lines are rarely shorter than 4 bytes
     let mut out = Vec::with_capacity(c.bytes.len() / 8);
-    let mut lineno = c.first_line;
-    for line in chunk::lines(c.bytes) {
-        let current = lineno;
-        lineno += 1;
+    for (current, line) in (c.first_line..).zip(chunk::lines(c.bytes)) {
         let t = line.trim_ascii();
         if t.is_empty() || t.starts_with(b"#") || t.starts_with(b"%") {
             continue;
@@ -50,15 +47,19 @@ fn parse_chunk(c: Chunk<'_>) -> Result<Vec<RawEdge>, IoError> {
         let u = tok
             .next()
             .ok_or_else(|| parse_error(current, "missing source id"))
-            .and_then(|s| chunk::parse_u64(s).ok_or_else(|| parse_error(current, "bad source id")))?;
+            .and_then(|s| {
+                chunk::parse_u64(s).ok_or_else(|| parse_error(current, "bad source id"))
+            })?;
         let v = tok
             .next()
             .ok_or_else(|| parse_error(current, "missing target id"))
-            .and_then(|s| chunk::parse_u64(s).ok_or_else(|| parse_error(current, "bad target id")))?;
+            .and_then(|s| {
+                chunk::parse_u64(s).ok_or_else(|| parse_error(current, "bad target id"))
+            })?;
         let w = match tok.next() {
             Some(s) => {
-                let w = chunk::parse_f64(s)
-                    .ok_or_else(|| parse_error(current, "bad edge weight"))?;
+                let w =
+                    chunk::parse_f64(s).ok_or_else(|| parse_error(current, "bad edge weight"))?;
                 if !f64::is_finite(w) || w <= 0.0 {
                     return Err(parse_error(
                         current,
@@ -88,12 +89,8 @@ struct ParsedEdgeList {
 /// numbering of the sequential reader.
 fn parse_edge_list(bytes: &[u8], parts: usize) -> Result<ParsedEdgeList, IoError> {
     let chunks = chunk::chunk_lines(bytes, parts, 1);
-    let per_chunk = chunk::first_error(
-        chunks
-            .into_par_iter()
-            .map(parse_chunk)
-            .collect::<Vec<_>>(),
-    )?;
+    let per_chunk =
+        chunk::first_error(chunks.into_par_iter().map(parse_chunk).collect::<Vec<_>>())?;
 
     let total: usize = per_chunk.iter().map(Vec::len).sum();
     let mut ids: FxHashMap<u64, Node> = FxHashMap::default();

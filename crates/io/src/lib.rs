@@ -35,7 +35,7 @@ pub mod partition_io;
 pub use dot::write_community_graph_dot;
 pub use edgelist::{read_edge_list, read_edge_list_recorded, write_edge_list};
 pub use gml::{write_gml, write_gml_to};
-pub use metis::{read_metis, read_metis_recorded, write_metis};
+pub use metis::{read_metis, read_metis_budgeted, read_metis_recorded, write_metis};
 pub use partition_io::{read_partition, write_partition};
 
 use std::path::{Path, PathBuf};

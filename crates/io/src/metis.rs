@@ -17,10 +17,31 @@
 use crate::chunk::{self, Chunk};
 use crate::{at_path, parse_error, IoError};
 use parcom_graph::{Graph, GraphBuilder, Node};
+use parcom_guard::Budget;
 use parcom_obs::Recorder;
 use rayon::prelude::*;
 use std::io::{BufRead, BufWriter, Read, Write};
 use std::path::Path;
+
+/// Rejects implausible or budget-exceeding header claims *before* any
+/// proportional allocation happens. `lineno` is the header's line.
+fn admit_header(n: usize, m: usize, lineno: usize, budget: &Budget) -> Result<(), IoError> {
+    // A simple undirected graph with self-loops has at most n(n+1)/2
+    // edges; a header claiming more is corrupt, whatever the limits.
+    if (m as u128) > (n as u128) * (n as u128 + 1) / 2 {
+        return Err(parse_error(
+            lineno,
+            format!("header claims {m} edges, more than a complete graph on {n} nodes"),
+        ));
+    }
+    if budget.admits(n, m).is_err() {
+        return Err(parse_error(
+            lineno,
+            format!("header claims {n} nodes / {m} edges, exceeding the ingest limit"),
+        ));
+    }
+    Ok(())
+}
 
 /// Parsed header plus where the adjacency body starts.
 struct Header {
@@ -133,12 +154,14 @@ fn neighbor_token_slow(
 /// accumulator, so the hot loop runs unchecked; anything else drops to
 /// [`neighbor_token_slow`]. `\n` and `\r` are ASCII whitespace, so the
 /// token boundary checks double as line-end checks.
+#[allow(clippy::type_complexity)] // (edges, data-line count) — a one-use pair
 fn parse_body_chunk(
     c: Chunk<'_>,
     start_node: usize,
     n: usize,
     weighted: bool,
 ) -> Result<(Vec<(Node, Node, f64)>, usize), IoError> {
+    parcom_guard::faultpoint!("io/chunk-parse");
     let b = c.bytes;
     let len = b.len();
     // Each kept edge costs well over 8 input bytes on average (two id
@@ -268,9 +291,10 @@ struct ParsedMetis {
 
 /// Parses header and body into a loaded [`GraphBuilder`] using up to
 /// `parts` chunks.
-fn parse_metis(bytes: &[u8], parts: usize) -> Result<ParsedMetis, IoError> {
+fn parse_metis(bytes: &[u8], parts: usize, budget: &Budget) -> Result<ParsedMetis, IoError> {
     let header = parse_header(bytes)?;
     let (n, m) = (header.n, header.m);
+    admit_header(n, m, header.body_first_line - 1, budget)?;
     let body = &bytes[header.body_start..];
     let chunks = chunk::chunk_lines(body, parts, header.body_first_line);
     let weighted = header.weighted;
@@ -354,7 +378,19 @@ fn finish_metis(parsed: ParsedMetis, last_line: impl FnOnce() -> usize) -> Resul
 /// Exposed for the differential tests and benchmarks; [`read_metis_from`]
 /// picks the chunk count automatically.
 pub fn read_metis_chunked(bytes: &[u8], parts: usize) -> Result<Graph, IoError> {
-    finish_metis(parse_metis(bytes, parts)?, || chunk::line_count(bytes))
+    finish_metis(parse_metis(bytes, parts, &Budget::unlimited())?, || {
+        chunk::line_count(bytes)
+    })
+}
+
+/// Reads a METIS graph from a byte buffer under a [`Budget`]: header
+/// claims exceeding the budget's input limits are rejected *before* any
+/// allocation proportional to them happens.
+pub fn read_metis_bytes_budgeted(bytes: &[u8], budget: &Budget) -> Result<Graph, IoError> {
+    finish_metis(
+        parse_metis(bytes, chunk::auto_parts(bytes.len()), budget)?,
+        || chunk::line_count(bytes),
+    )
 }
 
 /// Reads a METIS graph from an in-memory buffer with an automatically
@@ -421,6 +457,7 @@ pub fn read_metis_seq(bytes: &[u8]) -> Result<Graph, IoError> {
             format!("node count {n} exceeds the u32 id space"),
         ));
     }
+    admit_header(n, m, header_lineno, &Budget::unlimited())?;
     let mut b = GraphBuilder::with_capacity(n, m.min(1 << 24));
     let mut node: usize = 0;
     let mut last_line = header_lineno;
@@ -499,16 +536,24 @@ pub fn read_metis(path: impl AsRef<Path>) -> Result<Graph, IoError> {
 /// Reads a METIS graph from a file path, recording `ingest/parse` and
 /// `ingest/build` phase spans (with byte/edge counters) on `recorder`.
 /// With a disabled recorder this is exactly [`read_metis`].
-pub fn read_metis_recorded(
+pub fn read_metis_recorded(path: impl AsRef<Path>, recorder: &Recorder) -> Result<Graph, IoError> {
+    read_metis_budgeted(path, recorder, &Budget::unlimited())
+}
+
+/// Reads a METIS graph from a file path under a [`Budget`], recording
+/// ingest phase spans on `recorder`. Header claims exceeding the budget's
+/// input limits are rejected before allocation, with `path:line` context.
+pub fn read_metis_budgeted(
     path: impl AsRef<Path>,
     recorder: &Recorder,
+    budget: &Budget,
 ) -> Result<Graph, IoError> {
     let path = path.as_ref();
     at_path(path, {
         (|| {
             let parse_span = recorder.span("ingest/parse");
             let bytes = std::fs::read(path).map_err(IoError::from)?;
-            let parsed = parse_metis(&bytes, chunk::auto_parts(bytes.len()))?;
+            let parsed = parse_metis(&bytes, chunk::auto_parts(bytes.len()), budget)?;
             parse_span.counter("bytes", bytes.len() as u64);
             parse_span.counter("pending_edges", parsed.builder.pending_edges() as u64);
             parse_span.close();
@@ -642,11 +687,14 @@ mod tests {
 
     #[test]
     fn rejects_edge_count_mismatch() {
-        let err = read_metis_from("2 5\n2\n1\n".as_bytes()).unwrap_err();
+        // 2 claimed edges are plausible on 3 nodes, so the header is
+        // admitted and the whole-file consistency check catches it
+        let err = read_metis_from("3 2\n2\n1\n\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("header claims"), "{err}");
+        assert!(err.to_string().contains("file defines"), "{err}");
         // the whole-file check carries the last line's number (satellite
         // fix: no more naked `line 0` / missing-location errors)
-        assert_eq!(err.line(), Some(3), "{err}");
+        assert_eq!(err.line(), Some(4), "{err}");
     }
 
     #[test]
@@ -657,6 +705,31 @@ mod tests {
         let err = read_metis_seq("4 2\n2\n1\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("expected 4 adjacency"), "{err}");
         assert_eq!(err.line(), Some(3), "{err}");
+    }
+
+    #[test]
+    fn rejects_more_edges_than_complete_graph() {
+        // 3 nodes admit at most 6 edges (self-loops included)
+        let err = read_metis_from("3 7\n2\n1\n\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("complete graph"), "{err}");
+        assert_eq!(err.line(), Some(1), "{err}");
+        let err = read_metis_seq("3 7\n2\n1\n\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("complete graph"), "{err}");
+        assert_eq!(err.line(), Some(1), "{err}");
+    }
+
+    #[test]
+    fn budget_rejects_oversized_header_before_parsing() {
+        let budget = Budget::unlimited().with_input_limits(100, 1000);
+        // body is deliberately garbage: rejection must happen on the
+        // header alone, before any body parsing or allocation
+        let bytes = b"101 50\nthis is not a valid body\n";
+        let err = read_metis_bytes_budgeted(bytes, &budget).unwrap_err();
+        assert!(err.to_string().contains("ingest limit"), "{err}");
+        assert_eq!(err.line(), Some(1), "{err}");
+        // within limits, the same reader accepts a well-formed file
+        let g = read_metis_bytes_budgeted(b"2 1\n2\n1\n", &budget).unwrap();
+        assert_eq!(g.edge_count(), 1);
     }
 
     #[test]

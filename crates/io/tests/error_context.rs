@@ -2,7 +2,9 @@
 //! path (when entered through a path) and the offending line number (when
 //! the parser knows it), and `Display` leads with `path:line:`.
 
+use parcom_core::Budget;
 use parcom_io::{read_edge_list, read_metis, read_partition, IoError, IoErrorKind};
+use parcom_obs::Recorder;
 use std::path::PathBuf;
 
 fn write_temp(name: &str, contents: &str) -> PathBuf {
@@ -73,15 +75,34 @@ fn whole_file_checks_carry_the_last_line() {
     // edge-count mismatch is only detectable after the whole file is
     // read; the error still anchors at the last line read so the message
     // keeps the `path:line:` shape
-    let path = write_temp("mismatch.metis", "2 5\n2\n1\n");
+    let path = write_temp("mismatch.metis", "3 2\n2\n1\n\n");
     let err = read_metis(&path).unwrap_err();
     assert!(err.to_string().contains("header claims"));
-    assert_context(&err, &path, 3);
+    assert_context(&err, &path, 4);
 
     let path = write_temp("short.metis", "4 2\n2\n1\n");
     let err = read_metis(&path).unwrap_err();
     assert!(err.to_string().contains("expected 4 adjacency lines"));
     assert_context(&err, &path, 3);
+}
+
+#[test]
+fn ingest_limit_rejections_carry_path_and_line() {
+    // the header claims more nodes than the budget admits; the reader
+    // must reject before parsing the (bogus) body, with full context
+    let path = write_temp("huge.metis", "% big\n5000 10\nnot a body\n");
+    let budget = Budget::unlimited().with_input_limits(1000, 100_000);
+    let err = parcom_io::read_metis_budgeted(&path, &Recorder::disabled(), &budget).unwrap_err();
+    assert!(err.to_string().contains("ingest limit"), "{err}");
+    assert_context(&err, &path, 2);
+}
+
+#[test]
+fn implausible_edge_claims_carry_path_and_line() {
+    let path = write_temp("corrupt.metis", "2 9\n2\n1\n");
+    let err = read_metis(&path).unwrap_err();
+    assert!(err.to_string().contains("complete graph"), "{err}");
+    assert_context(&err, &path, 1);
 }
 
 #[test]

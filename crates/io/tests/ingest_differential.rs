@@ -27,11 +27,7 @@ fn assert_bit_identical(a: &Graph, b: &Graph, ctx: &str) {
 
 /// Same outcome: both Ok with bit-identical graphs, or both Err with the
 /// same line and message.
-fn assert_same_outcome(
-    seq: &Result<Graph, IoError>,
-    par: &Result<Graph, IoError>,
-    ctx: &str,
-) {
+fn assert_same_outcome(seq: &Result<Graph, IoError>, par: &Result<Graph, IoError>, ctx: &str) {
     match (seq, par) {
         (Ok(a), Ok(b)) => assert_bit_identical(a, b, ctx),
         (Err(a), Err(b)) => {
@@ -62,7 +58,11 @@ fn arb_weight() -> impl Strategy<Value = f64> {
 fn arb_metis() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>, bool, usize)> {
     (1usize..30).prop_flat_map(|n| {
         let edge = (0..n as u32, 0..n as u32, arb_weight());
-        (proptest::collection::vec(edge, 0..(4 * n)), 0u32..2, 0usize..4)
+        (
+            proptest::collection::vec(edge, 0..(4 * n)),
+            0u32..2,
+            0usize..4,
+        )
             .prop_map(move |(edges, w, ce)| (n, edges, w == 1, ce))
     })
 }
@@ -70,7 +70,12 @@ fn arb_metis() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>, bool, usiz
 /// Renders a METIS file whose header edge count matches what the parsers
 /// will produce after duplicate merging. Empty rows (isolated nodes) come
 /// out as blank lines, so blank-line handling is covered for free.
-fn render_metis(n: usize, edges: &[(u32, u32, f64)], weighted: bool, comment_every: usize) -> String {
+fn render_metis(
+    n: usize,
+    edges: &[(u32, u32, f64)],
+    weighted: bool,
+    comment_every: usize,
+) -> String {
     let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
     for &(u, v, w) in edges {
         let w = if weighted { w } else { 1.0 };

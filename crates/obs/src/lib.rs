@@ -23,7 +23,7 @@
 //!   algorithm name, per-phase wall time, counters, iteration series,
 //!   final quality metrics and nested sub-reports (EPP ensemble members),
 //!   with hand-rolled JSON serialization ([`json`], schema
-//!   `parcom-run-report/v1`).
+//!   `parcom-run-report/v2`).
 //!
 //! ## Kill switches
 //!

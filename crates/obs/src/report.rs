@@ -5,14 +5,16 @@
 //! ensemble algorithms attach one whole `RunReport` per member under
 //! `sub_reports`.
 //!
-//! The JSON schema (`parcom-run-report/v1`) is pinned by a golden test in
+//! The JSON schema (`parcom-run-report/v2`) is pinned by a golden test in
 //! `tests/report_schema.rs`; downstream tooling may rely on the field
-//! names and nesting emitted here.
+//! names and nesting emitted here. v2 added the always-present
+//! `termination` and `cut_phase` keys (JSON `null` when the run was not
+//! guarded) recording how a budgeted run ended and which phase was cut.
 
 use crate::json;
 
 /// Schema identifier emitted in every serialized report.
-pub const SCHEMA: &str = "parcom-run-report/v1";
+pub const SCHEMA: &str = "parcom-run-report/v2";
 
 /// One timed phase (span) of a run: wall time, counters, iteration series
 /// and nested sub-phases.
@@ -102,6 +104,12 @@ pub struct RunReport {
     pub phases: Vec<PhaseReport>,
     /// Reports of constituent runs (EPP ensemble members, final algorithm).
     pub sub_reports: Vec<RunReport>,
+    /// How a guarded run ended (`"converged"`, `"deadline"`, ...), set by
+    /// `detect_guarded`. `None` for unguarded runs; serialized as `null`.
+    pub termination: Option<String>,
+    /// The phase that was executing when the budget expired, when a guarded
+    /// run was cut short. `None` otherwise; serialized as `null`.
+    pub cut_phase: Option<String>,
 }
 
 impl RunReport {
@@ -203,7 +211,18 @@ impl RunReport {
             }
             r.write_json(out);
         }
-        out.push_str("]}");
+        out.push_str("],\"termination\":");
+        write_opt_str(out, self.termination.as_deref());
+        out.push_str(",\"cut_phase\":");
+        write_opt_str(out, self.cut_phase.as_deref());
+        out.push('}');
+    }
+}
+
+fn write_opt_str(out: &mut String, s: Option<&str>) {
+    match s {
+        Some(s) => json::write_str(out, s),
+        None => out.push_str("null"),
     }
 }
 
@@ -260,7 +279,7 @@ mod tests {
                 }],
                 ..PhaseReport::default()
             }],
-            sub_reports: vec![],
+            ..RunReport::default()
         };
         assert_eq!(r.counter("nodes"), Some(10));
         assert_eq!(r.series("updated"), Some(&[3.0, 1.0][..]));
@@ -286,7 +305,11 @@ mod tests {
                 ..PhaseReport::default()
             }],
             sub_reports: vec![RunReport::empty("member")],
+            termination: Some("deadline".into()),
+            cut_phase: Some("move-phase".into()),
         };
         crate::json::validate(&r.to_json()).unwrap();
+        assert!(r.to_json().contains("\"termination\":\"deadline\""));
+        assert!(r.to_json().contains("\"cut_phase\":\"move-phase\""));
     }
 }

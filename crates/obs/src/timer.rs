@@ -243,6 +243,8 @@ impl Recorder {
             metrics: std::mem::take(&mut st.metrics),
             phases,
             sub_reports: std::mem::take(&mut st.sub_reports),
+            termination: None,
+            cut_phase: None,
         }
     }
 }

@@ -1,8 +1,9 @@
-//! Golden test pinning the `parcom-run-report/v1` JSON schema.
+//! Golden test pinning the `parcom-run-report/v2` JSON schema.
 //!
 //! Downstream tooling (CI smoke step, plotting scripts) parses this
 //! format; any change to field names, nesting or value encoding must be
-//! deliberate and bump the schema tag.
+//! deliberate and bump the schema tag. v2 added the always-present
+//! `termination`/`cut_phase` keys (`null` for unguarded runs).
 
 use parcom_obs::{json, PhaseReport, Recorder, RunReport, SCHEMA};
 
@@ -31,13 +32,15 @@ fn sample_report() -> RunReport {
             metrics: vec![("modularity".into(), 0.375)],
             ..RunReport::default()
         }],
+        termination: Some("deadline".into()),
+        cut_phase: Some("move-phase".into()),
     }
 }
 
 #[test]
 fn golden_json_is_pinned() {
     let expected = concat!(
-        "{\"schema\":\"parcom-run-report/v1\",",
+        "{\"schema\":\"parcom-run-report/v2\",",
         "\"algorithm\":\"PLM\",",
         "\"counters\":{\"nodes\":100,\"edges\":250},",
         "\"series\":{\"updated\":[42,7,0]},",
@@ -51,10 +54,12 @@ fn golden_json_is_pinned() {
         "]}",
         "],",
         "\"sub_reports\":[",
-        "{\"schema\":\"parcom-run-report/v1\",\"algorithm\":\"PLP\",",
+        "{\"schema\":\"parcom-run-report/v2\",\"algorithm\":\"PLP\",",
         "\"counters\":{},\"series\":{},\"metrics\":{\"modularity\":0.375},",
-        "\"phases\":[],\"sub_reports\":[]}",
-        "]}",
+        "\"phases\":[],\"sub_reports\":[],",
+        "\"termination\":null,\"cut_phase\":null}",
+        "],",
+        "\"termination\":\"deadline\",\"cut_phase\":\"move-phase\"}",
     );
     let got = sample_report().to_json();
     assert_eq!(got, expected, "RunReport JSON schema drifted");
@@ -67,9 +72,9 @@ fn empty_report_still_emits_every_field() {
     let got = RunReport::empty("PLP").to_json();
     assert_eq!(
         got,
-        "{\"schema\":\"parcom-run-report/v1\",\"algorithm\":\"PLP\",\
+        "{\"schema\":\"parcom-run-report/v2\",\"algorithm\":\"PLP\",\
          \"counters\":{},\"series\":{},\"metrics\":{},\"phases\":[],\
-         \"sub_reports\":[]}"
+         \"sub_reports\":[],\"termination\":null,\"cut_phase\":null}"
     );
     json::validate(&got).unwrap();
 }
@@ -85,8 +90,9 @@ fn recorder_output_matches_schema_shape() {
     rec.metric("modularity", 0.25);
     let json = rec.finish("X").to_json();
     json::validate(&json).unwrap();
-    assert!(json.starts_with("{\"schema\":\"parcom-run-report/v1\""));
+    assert!(json.starts_with("{\"schema\":\"parcom-run-report/v2\""));
     assert!(json.contains("\"name\":\"inner\""));
+    assert!(json.contains("\"termination\":null"));
 }
 
 #[test]
