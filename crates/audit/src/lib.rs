@@ -3,11 +3,15 @@
 
 //! # parcom-audit — concurrency-discipline lint for the parcom workspace
 //!
-//! A dependency-free, source-level lint pass enforcing the workspace's
-//! concurrency and robustness rules. It is deliberately a *textual* audit,
-//! not a compiler plugin: the rules it checks are discipline rules about
-//! where certain constructs may appear at all, which line/token scanning
-//! decides reliably once comments and string literals are stripped.
+//! A dependency-free static-analysis pass enforcing the workspace's
+//! concurrency and robustness rules. It is deliberately *syntactic*, not
+//! a compiler plugin: source is lexed into a token stream ([`lexer`]),
+//! braces become a scope tree ([`scopes`]), `fn` items with their loops,
+//! call sites and `budget: &Budget` parameters become a per-file model
+//! ([`model`]), and a workspace-level name-based call graph
+//! ([`callgraph`]) supports one interprocedural rule. That is enough for
+//! discipline rules — and it keeps the audit dependency-free and fast
+//! enough to run on every push.
 //!
 //! ## Rules
 //!
@@ -19,15 +23,39 @@
 //! | `partial-cmp-unwrap` | no `partial_cmp(..).unwrap()/expect(..)` comparators — use `total_cmp` |
 //! | `lossy-cast` | no truncating `as u32`/`as Node` casts of counts outside annotated sites |
 //! | `io-unwrap` | no `unwrap()`/`expect(..)` in `crates/io` parsing paths |
-//! | `budget-check` | outermost multi-level loops in `budget: &Budget` functions must call `budget.check*` |
+//! | `budget-check` | outermost heavy loops in `budget: &Budget` functions must call `budget.check*` |
+//! | `budget-propagation` | heavy helpers reachable from a budgeted function must take the budget |
+//! | `lock-across-parallel` | no `.lock()`/`.borrow_mut()` guard live across a parallel call |
+//! | `panic-in-parallel` | no `unwrap`/`expect`/`panic!` inside rayon closures outside tests |
+//! | `ordering-escalation` | allowlisted atomics stay at the documented `Relaxed`/`Acquire` strength |
 //!
-//! Any line (or its immediate predecessor) may carry
-//! `// audit:allow(<rule>)` to suppress a diagnostic at a site that has
-//! been reviewed; the marker doubles as in-tree documentation that the
-//! site is deliberate.
+//! ## Allow markers
+//!
+//! Any finding can be suppressed with `// audit:allow(<rule>): <why>` —
+//! trailing the offending line, trailing the first line of the enclosing
+//! statement, or on the run of comment lines directly above it (which is
+//! how a marker covers an item behind `#[…]` attributes). The marker
+//! doubles as in-tree documentation that the site is deliberate, so the
+//! justification after the colon is expected. Markers that suppress
+//! nothing are reported as warnings (not violations): a stale marker
+//! after a fix should be deleted, and a typo'd rule name should not
+//! silently disable nothing.
 
 use std::fmt;
 use std::path::Path;
+use std::time::Instant;
+
+pub mod callgraph;
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod scopes;
+
+use callgraph::ChainLink;
+use model::FileModel;
+use report::{AuditReport, RuleStat, UnusedAllow};
+use rules::RawViolation;
 
 /// The lint rules the audit enforces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -62,11 +90,32 @@ pub enum Rule {
     /// checks are amortized at sweep/merge granularity by design, never
     /// per element.
     BudgetCheck,
+    /// The interprocedural closure of `budget-check`: a *heavy* function
+    /// (parallel region or multi-level loop) reachable through the call
+    /// graph from a `budget: &Budget` function must itself take the
+    /// budget — otherwise the cancellation promise silently ends at the
+    /// first helper call. Evidence carries the call chain from the
+    /// budgeted root to the offender.
+    BudgetPropagation,
+    /// A `.lock()`/`.borrow_mut()` guard still live where a parallel
+    /// region is issued: workers contending for the held lock serialize
+    /// the "parallel" section (or deadlock on a re-entrant borrow). Drop
+    /// the guard — scoped or explicit `drop()` — before fanning out.
+    LockAcrossParallel,
+    /// `unwrap()`/`expect(..)`/`panic!`-family inside a closure fed to a
+    /// rayon call chain, outside tests. One panicking worker tears down
+    /// the whole pool mid-run; parallel closures must stay total.
+    PanicInParallel,
+    /// Inside the `ORDERING_ALLOWED` modules, any ordering stronger than
+    /// the documented `Relaxed`/`Acquire` protocol (`Release`, `AcqRel`,
+    /// `SeqCst`). The allowlist says *where* atomics may live; this rule
+    /// pins *how strong* they may be without a fresh review.
+    OrderingEscalation,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 11] = [
         Rule::AtomicOrdering,
         Rule::StaticMut,
         Rule::UnsafeCode,
@@ -74,6 +123,10 @@ impl Rule {
         Rule::LossyCast,
         Rule::IoUnwrap,
         Rule::BudgetCheck,
+        Rule::BudgetPropagation,
+        Rule::LockAcrossParallel,
+        Rule::PanicInParallel,
+        Rule::OrderingEscalation,
     ];
 
     /// The kebab-case name used in diagnostics and `audit:allow(..)`.
@@ -86,7 +139,16 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::IoUnwrap => "io-unwrap",
             Rule::BudgetCheck => "budget-check",
+            Rule::BudgetPropagation => "budget-propagation",
+            Rule::LockAcrossParallel => "lock-across-parallel",
+            Rule::PanicInParallel => "panic-in-parallel",
+            Rule::OrderingEscalation => "ordering-escalation",
         }
+    }
+
+    /// Stable index into [`Rule::ALL`]-ordered tables.
+    pub fn idx(self) -> usize {
+        self as usize
     }
 }
 
@@ -103,10 +165,16 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the finding's first token.
+    pub column: usize,
     /// The rule that fired.
     pub rule: Rule,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// Extra human-readable evidence, when the rule has any.
+    pub note: Option<String>,
+    /// Call-chain evidence (budget-propagation), root first.
+    pub call_chain: Vec<ChainLink>,
 }
 
 impl fmt::Display for Violation {
@@ -115,7 +183,14 @@ impl fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.excerpt
-        )
+        )?;
+        if let Some(note) = &self.note {
+            write!(f, "\n    note: {note}")?;
+        }
+        for link in &self.call_chain {
+            write!(f, "\n    via: {link}")?;
+        }
+        Ok(())
     }
 }
 
@@ -143,428 +218,184 @@ pub const ORDERING_ALLOWED: &[&str] = &[
 /// keeps the list of exceptions (none) in one reviewable place.
 pub const UNSAFE_ALLOWED: &[&str] = &[];
 
-/// Truncating cast patterns the `lossy-cast` rule searches for (matched
-/// against comment- and string-stripped code).
-const LOSSY_CAST_PATTERNS: &[&str] = &[
-    ".len() as u32",
-    ".len() as Node",
-    ".count() as u32",
-    ".count() as Node",
-    "node_count() as u32",
-    "node_count() as Node",
-    "edge_count() as u32",
-    "edge_count() as Node",
-];
-
-/// A source file split into per-line *code* text (comments, string and
-/// char literal contents blanked out) and per-line *comment* text (used to
-/// find `audit:allow` markers).
-struct StrippedSource {
-    code: Vec<String>,
-    comments: Vec<String>,
-}
-
-/// Strips comments and literal contents from Rust source, line by line.
-///
-/// This is a lexer for exactly the token forms that can hide or fake a
-/// lint pattern: line comments, (nested) block comments, string literals
-/// with escapes, raw strings `r#".."#`, byte strings, char literals, and
-/// lifetimes (so `'a` is not mistaken for an unterminated char literal).
-fn strip(source: &str) -> StrippedSource {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        Block(u32),  // nested block comment depth
-        Str,         // "..."
-        RawStr(u32), // r##"..."## with hash count
-        Char,        // '...'
-    }
-    let mut state = State::Code;
-    let mut code = vec![String::new()];
-    let mut comments = vec![String::new()];
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            // A line comment ends at the newline; everything else carries on.
-            code.push(String::new());
-            comments.push(String::new());
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    // line comment: consume to end of line into comment text
-                    let mut j = i;
-                    while j < chars.len() && chars[j] != '\n' {
-                        comments.last_mut().unwrap().push(chars[j]);
-                        j += 1;
-                    }
-                    i = j;
-                    continue;
-                } else if c == '/' && next == Some('*') {
-                    state = State::Block(1);
-                    i += 2;
-                    continue;
-                } else if c == '"' {
-                    code.last_mut().unwrap().push('"');
-                    state = State::Str;
-                } else if c == 'r' || c == 'b' {
-                    // possible raw/byte string start: r", r#", br", b"
-                    let mut j = i + 1;
-                    if c == 'b' && chars.get(j) == Some(&'r') {
-                        j += 1;
-                    }
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    let is_ident_char =
-                        i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
-                    if !is_ident_char && chars.get(j) == Some(&'"') && (c == 'r' || hashes == 0) {
-                        if c == 'b' && chars.get(i + 1) == Some(&'"') {
-                            // b"..." — plain byte string
-                            code.last_mut().unwrap().push('"');
-                            state = State::Str;
-                            i += 2;
-                            continue;
-                        } else if chars.get(i + 1) == Some(&'r') || c == 'r' {
-                            code.last_mut().unwrap().push('"');
-                            state = State::RawStr(hashes);
-                            i = j + 1;
-                            continue;
-                        }
-                    }
-                    code.last_mut().unwrap().push(c);
-                } else if c == '\'' {
-                    // char literal or lifetime
-                    let n1 = chars.get(i + 1).copied();
-                    let n2 = chars.get(i + 2).copied();
-                    let is_char = n1 == Some('\\') || (n1.is_some() && n2 == Some('\''));
-                    if is_char {
-                        code.last_mut().unwrap().push('\'');
-                        state = State::Char;
-                    } else {
-                        code.last_mut().unwrap().push('\'');
-                    }
-                } else {
-                    code.last_mut().unwrap().push(c);
-                }
-            }
-            State::Block(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('*') {
-                    state = State::Block(depth + 1);
-                    i += 2;
-                    continue;
-                } else if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::Block(depth - 1)
-                    };
-                    i += 2;
-                    continue;
-                }
-                comments.last_mut().unwrap().push(c);
-            }
-            State::Str => {
-                if c == '\\' {
-                    i += 2;
-                    continue;
-                } else if c == '"' {
-                    code.last_mut().unwrap().push('"');
-                    state = State::Code;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if chars.get(i + 1 + k as usize) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        code.last_mut().unwrap().push('"');
-                        state = State::Code;
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                }
-            }
-            State::Char => {
-                if c == '\\' {
-                    i += 2;
-                    continue;
-                } else if c == '\'' {
-                    code.last_mut().unwrap().push('\'');
-                    state = State::Code;
-                }
-            }
-        }
-        i += 1;
-    }
-    StrippedSource { code, comments }
-}
-
-/// True when `token` occurs in `line` as a standalone word (not part of a
-/// longer identifier such as `unsafe_code`).
-fn contains_word(line: &str, token: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(token) {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
-        let end = at + token.len();
-        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + 1;
-    }
-    false
-}
-
-fn is_word_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
 /// True when a path (normalized to `/` separators) ends in one of the
 /// allowlisted suffixes.
-fn path_allowed(path: &str, allowlist: &[&str]) -> bool {
+pub fn path_allowed(path: &str, allowlist: &[&str]) -> bool {
     let normalized = path.replace('\\', "/");
     allowlist.iter().any(|suffix| normalized.ends_with(suffix))
 }
 
-/// True when line `idx` carries an `audit:allow(<rule>)` marker for
-/// `rule`, either trailing the line itself or on a comment-only line
-/// immediately above it (a marker trailing *code* does not leak to the
-/// next line).
-fn allowed_here(stripped: &StrippedSource, idx: usize, rule: Rule) -> bool {
-    let marker = format!("audit:allow({})", rule.name());
-    if stripped.comments[idx].contains(&marker) {
-        return true;
-    }
-    idx > 0
-        && stripped.comments[idx - 1].contains(&marker)
-        && stripped.code[idx - 1].trim().is_empty()
+/// The per-file slice of a scan: violations, marker usage, per-rule
+/// accounting.
+#[derive(Debug, Default)]
+struct FileScan {
+    violations: Vec<Violation>,
+    /// Indices into the file's `allows` that suppressed something.
+    used_markers: Vec<usize>,
+    /// Per-rule (fired, suppressed, micros), [`Rule::ALL`] order.
+    stats: Vec<RuleStat>,
 }
 
-/// Atomic `Ordering` variant tokens (the `cmp::Ordering` variants `Less`,
-/// `Equal`, `Greater` are deliberately not matched).
-const ATOMIC_ORDERINGS: &[&str] = &[
-    "Ordering::Relaxed",
-    "Ordering::Acquire",
-    "Ordering::Release",
-    "Ordering::AcqRel",
-    "Ordering::SeqCst",
-];
+fn make_violation(model: &FileModel, rule: Rule, raw: RawViolation) -> Violation {
+    Violation {
+        file: model.path.clone(),
+        line: raw.line as usize,
+        column: raw.col as usize,
+        rule,
+        excerpt: model.excerpt(raw.line),
+        note: raw.note,
+        call_chain: raw.chain,
+    }
+}
+
+/// Runs every intra-file rule over one model, applying allow-markers and
+/// per-(rule, line) dedup (two findings of one rule on one line — say two
+/// `unwrap()`s — report once, like the line-oriented scanner did).
+fn apply_file_rules(model: &FileModel) -> FileScan {
+    let mut scan = FileScan {
+        stats: vec![RuleStat::default(); Rule::ALL.len()],
+        ..FileScan::default()
+    };
+    for &(rule, run) in rules::FILE_RULES {
+        let t0 = Instant::now();
+        let mut seen_lines: Vec<u32> = Vec::new();
+        for raw in run(model) {
+            if seen_lines.contains(&raw.line) {
+                continue;
+            }
+            seen_lines.push(raw.line);
+            match model.find_allow(rule.name(), raw.line) {
+                Some(marker) => {
+                    scan.used_markers.push(marker);
+                    scan.stats[rule.idx()].suppressed += 1;
+                }
+                None => {
+                    scan.stats[rule.idx()].fired += 1;
+                    scan.violations.push(make_violation(model, rule, raw));
+                }
+            }
+        }
+        scan.stats[rule.idx()].micros += t0.elapsed().as_micros() as u64;
+    }
+    scan
+}
+
+/// Runs `budget-propagation` over a set of models and folds its findings
+/// into the per-file scans (marker accounting included).
+fn apply_propagation(models: &[FileModel], scans: &mut [FileScan]) {
+    let t0 = Instant::now();
+    let idx = Rule::BudgetPropagation.idx();
+    for (fi, raw) in rules::budget::propagation(models) {
+        let model = &models[fi];
+        match model.find_allow(Rule::BudgetPropagation.name(), raw.line) {
+            Some(marker) => {
+                scans[fi].used_markers.push(marker);
+                scans[fi].stats[idx].suppressed += 1;
+            }
+            None => {
+                scans[fi].stats[idx].fired += 1;
+                scans[fi]
+                    .violations
+                    .push(make_violation(model, Rule::BudgetPropagation, raw));
+            }
+        }
+    }
+    if let Some(first) = scans.first_mut() {
+        first.stats[idx].micros += t0.elapsed().as_micros() as u64;
+    }
+}
+
+fn sort_violations(violations: &mut [Violation]) {
+    violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule.idx()).cmp(&(&b.file, b.line, b.rule.idx())));
+}
 
 /// Scans one file's source text. `path` selects path-dependent rules (the
 /// `Ordering` allowlist, `crates/io` for `io-unwrap`) and is echoed into
-/// diagnostics; the file is not re-read from disk.
+/// diagnostics; the file is not re-read from disk. The interprocedural
+/// `budget-propagation` rule runs over this single file's call graph.
 pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
-    let stripped = strip(source);
-    let source_lines: Vec<&str> = source.lines().collect();
-    let mut out = Vec::new();
-    let normalized = path.replace('\\', "/");
-    // integration tests under crates/io/tests/ are test code, same as
-    // `#[cfg(test)]` modules — only the parsing paths in src/ are held to
-    // the no-unwrap rule
-    let in_io_crate = normalized.contains("crates/io/src/");
-
-    let report = |idx: usize, rule: Rule, out: &mut Vec<Violation>| {
-        if !allowed_here(&stripped, idx, rule) {
-            out.push(Violation {
-                file: path.to_string(),
-                line: idx + 1,
-                rule,
-                excerpt: source_lines
-                    .get(idx)
-                    .map(|l| l.trim().to_string())
-                    .unwrap_or_default(),
-            });
-        }
-    };
-
-    // `#[cfg(test)]`-module tracking for io-unwrap: once the attribute is
-    // seen, the brace block it introduces is test code.
-    let mut depth: i64 = 0;
-    let mut test_pending = false;
-    let mut test_depths: Vec<i64> = Vec::new();
-
-    // budget-check tracking: signatures accumulate from `fn ` to their `{`;
-    // inside a `budget: &Budget` function, the *outermost* open loop is
-    // watched for nested loops / `par_*` calls (heavy) and for a
-    // `budget.check*` call anywhere in its body.
-    struct LoopInfo {
-        header_idx: usize,
-        depth: i64,
-        heavy: bool,
-        has_check: bool,
-    }
-    let mut fn_sig: Option<String> = None;
-    let mut budget_fn_depths: Vec<i64> = Vec::new();
-    let mut loop_pending: Option<usize> = None;
-    let mut outer_loop: Option<LoopInfo> = None;
-
-    for (idx, code) in stripped.code.iter().enumerate() {
-        let in_test_module = !test_depths.is_empty();
-        let in_budget_fn = !budget_fn_depths.is_empty();
-
-        // budget-check per-line bookkeeping (before the brace pass, so a
-        // `}` on this line sees up-to-date loop state)
-        if let Some(sig) = fn_sig.as_mut() {
-            sig.push_str(code);
-            sig.push(' ');
-        } else if contains_word(code, "fn") {
-            fn_sig = Some(format!("{code} "));
-        }
-        if in_budget_fn {
-            let is_loop_header = contains_word(code, "for")
-                || contains_word(code, "while")
-                || contains_word(code, "loop");
-            match outer_loop.as_mut() {
-                Some(outer) => {
-                    if code.contains("budget.check") {
-                        outer.has_check = true;
-                    }
-                    if is_loop_header || code.contains(".par_") {
-                        outer.heavy = true;
-                    }
-                }
-                None if is_loop_header => loop_pending = Some(idx),
-                None => {}
-            }
-        }
-
-        if !path_allowed(&normalized, ORDERING_ALLOWED) {
-            for variant in ATOMIC_ORDERINGS {
-                if code.contains(variant) {
-                    report(idx, Rule::AtomicOrdering, &mut out);
-                    break;
-                }
-            }
-        }
-
-        if code.contains("static mut") && contains_word(code, "static") {
-            report(idx, Rule::StaticMut, &mut out);
-        }
-
-        if contains_word(code, "unsafe") && !path_allowed(&normalized, UNSAFE_ALLOWED) {
-            report(idx, Rule::UnsafeCode, &mut out);
-        }
-
-        if let Some(pos) = code.find(".partial_cmp(") {
-            // comparator misuse: an unwrap/expect on the same statement —
-            // look from the call to the end of the statement (up to 4 lines)
-            let mut window = code[pos..].to_string();
-            let mut j = idx;
-            while !window.contains(';') && j + 1 < stripped.code.len() && j < idx + 3 {
-                j += 1;
-                window.push_str(&stripped.code[j]);
-            }
-            let stmt = window.split(';').next().unwrap_or("");
-            if stmt.contains(".unwrap()") || stmt.contains(".expect(") {
-                report(idx, Rule::PartialCmpUnwrap, &mut out);
-            }
-        }
-
-        for pattern in LOSSY_CAST_PATTERNS {
-            if code.contains(pattern) {
-                report(idx, Rule::LossyCast, &mut out);
-                break;
-            }
-        }
-
-        if in_io_crate
-            && !in_test_module
-            && (code.contains(".unwrap()") || code.contains(".expect("))
-        {
-            report(idx, Rule::IoUnwrap, &mut out);
-        }
-
-        // brace bookkeeping (after rule checks: the attribute line itself
-        // and the `mod tests {` opener belong to the test region already,
-        // but contain no unwraps in practice)
-        if code.contains("#[cfg(test)]") {
-            test_pending = true;
-        }
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    depth += 1;
-                    if test_pending {
-                        test_depths.push(depth);
-                        test_pending = false;
-                    }
-                    if let Some(sig) = fn_sig.take() {
-                        if sig.contains("budget: &Budget") {
-                            budget_fn_depths.push(depth);
-                        }
-                    }
-                    if let Some(header_idx) = loop_pending.take() {
-                        let header = &stripped.code[header_idx];
-                        outer_loop = Some(LoopInfo {
-                            header_idx,
-                            depth,
-                            heavy: header.contains(".par_"),
-                            has_check: header.contains("budget.check"),
-                        });
-                    }
-                }
-                '}' => {
-                    if test_depths.last() == Some(&depth) {
-                        test_depths.pop();
-                    }
-                    if outer_loop.as_ref().is_some_and(|l| l.depth == depth) {
-                        let l = outer_loop.take().unwrap();
-                        if l.heavy && !l.has_check {
-                            report(l.header_idx, Rule::BudgetCheck, &mut out);
-                        }
-                    }
-                    if budget_fn_depths.last() == Some(&depth) {
-                        budget_fn_depths.pop();
-                    }
-                    depth -= 1;
-                }
-                // a signature that ends in `;` is a trait declaration with
-                // no body to audit
-                ';' => fn_sig = None,
-                _ => {}
-            }
-        }
-    }
-    out
+    let models = [FileModel::build(path, source)];
+    let mut scans = [apply_file_rules(&models[0])];
+    apply_propagation(&models, &mut scans);
+    let [scan] = scans;
+    let mut violations = scan.violations;
+    sort_violations(&mut violations);
+    violations
 }
 
 /// Directories never scanned: build output, VCS metadata, and the lint's
 /// own intentionally-violating fixtures.
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
 
-/// Recursively scans every `.rs` file under `root`, returning all
-/// violations sorted by path and line.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+/// Recursively scans every `.rs` file under `root`, returning the full
+/// report: violations sorted by path and line, unused-marker warnings and
+/// per-rule timing. File models are built and checked in parallel (one
+/// rayon task per file); the call-graph pass is sequential.
+pub fn scan_workspace_report(root: &Path) -> std::io::Result<AuditReport> {
+    use rayon::prelude::*;
+    let t0 = Instant::now();
+
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-    let mut out = Vec::new();
-    for file in files {
-        let source = std::fs::read_to_string(&file)?;
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .into_owned();
-        out.extend(scan_source(&rel, &source));
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|file| {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(file)
+                .to_string_lossy()
+                .into_owned();
+            std::fs::read_to_string(file).map(|src| (rel, src))
+        })
+        .collect::<std::io::Result<_>>()?;
+
+    let models: Vec<FileModel> = sources
+        .par_iter()
+        .map(|(rel, src)| FileModel::build(rel, src))
+        .collect();
+    let mut scans: Vec<FileScan> = models.par_iter().map(apply_file_rules).collect();
+    apply_propagation(&models, &mut scans);
+
+    let mut violations = Vec::new();
+    let mut unused_allows = Vec::new();
+    let mut stats = vec![RuleStat::default(); Rule::ALL.len()];
+    for (model, scan) in models.iter().zip(scans) {
+        violations.extend(scan.violations);
+        for (i, s) in scan.stats.into_iter().enumerate() {
+            stats[i].fired += s.fired;
+            stats[i].suppressed += s.suppressed;
+            stats[i].micros += s.micros;
+        }
+        for (mi, marker) in model.allows.iter().enumerate() {
+            if !scan.used_markers.contains(&mi) {
+                unused_allows.push(UnusedAllow {
+                    file: model.path.clone(),
+                    line: marker.line,
+                    rule: marker.rule.clone(),
+                });
+            }
+        }
     }
-    Ok(out)
+    sort_violations(&mut violations);
+
+    Ok(AuditReport {
+        root: root.to_string_lossy().into_owned(),
+        files_scanned: models.len(),
+        threads: rayon::current_num_threads(),
+        violations,
+        unused_allows,
+        stats,
+        elapsed_micros: t0.elapsed().as_micros() as u64,
+    })
+}
+
+/// Recursively scans every `.rs` file under `root`, returning all
+/// violations sorted by path and line. Thin wrapper over
+/// [`scan_workspace_report`] for callers that only gate on findings.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    Ok(scan_workspace_report(root)?.violations)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
@@ -588,44 +419,6 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::R
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn strip_blanks_strings_and_comments() {
-        let s = strip("let x = \"static mut\"; // static mut here\n/* unsafe */ let y = 1;\n");
-        assert!(!s.code[0].contains("static"));
-        assert!(s.comments[0].contains("static mut"));
-        assert!(!s.code[1].contains("unsafe"));
-        assert!(s.code[1].contains("let y = 1;"));
-    }
-
-    #[test]
-    fn strip_handles_lifetimes_and_chars() {
-        let s = strip("fn f<'a>(q: &'a str) -> char { 'x' }\n");
-        assert!(s.code[0].contains("fn f<'a>(q: &'a str)"));
-        // the char literal's content is blanked
-        assert!(s.code[0].contains("{ '' }"), "{:?}", s.code[0]);
-    }
-
-    #[test]
-    fn strip_handles_raw_strings() {
-        let s = strip("let p = r#\"unsafe { }\"#; let q = 2;\n");
-        assert!(!s.code[0].contains("unsafe"));
-        assert!(s.code[0].contains("let q = 2;"));
-    }
-
-    #[test]
-    fn word_boundaries_respected() {
-        assert!(contains_word("unsafe {", "unsafe"));
-        assert!(!contains_word("#![forbid(unsafe_code)]", "unsafe"));
-        assert!(!contains_word("an_unsafe_name", "unsafe"));
-    }
-
-    #[test]
-    fn nested_block_comments() {
-        let s = strip("/* outer /* inner */ still comment */ let a = 1;\n");
-        assert!(s.code[0].contains("let a = 1;"));
-        assert!(!s.code[0].contains("still"));
-    }
 
     #[test]
     fn budget_check_tracks_fn_signatures_and_loop_shape() {
@@ -661,5 +454,25 @@ mod tests {
         let v = scan_source("x.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn propagation_runs_in_single_file_scans() {
+        let src = "\
+fn run_guarded(g: &Graph, budget: &Budget) {\n    helper(g);\n}\n\
+fn helper(g: &Graph) {\n    for s in 0..10 {\n        for u in g.nodes() {\n            work(u);\n        }\n    }\n}\n";
+        let v = scan_source("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::BudgetPropagation);
+        assert_eq!(v[0].line, 4);
+        assert_eq!(v[0].call_chain.len(), 2);
+        assert_eq!(v[0].call_chain[0].function, "run_guarded");
+    }
+
+    #[test]
+    fn rule_indices_match_all_order() {
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            assert_eq!(rule.idx(), i, "{rule}");
+        }
     }
 }

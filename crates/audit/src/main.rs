@@ -3,10 +3,14 @@
 
 //! `parcom-audit` — run the workspace concurrency-discipline lint.
 //!
-//! Usage: `cargo run -p parcom-audit [root]`. Without an argument the
-//! workspace root is located by walking up from the current directory to
-//! the first `Cargo.toml` declaring `[workspace]`. Exits nonzero when any
-//! rule fires; diagnostics are `file:line: [rule] offending-line`.
+//! Usage: `cargo run -p parcom-audit [root] [--json PATH]`. Without a
+//! root the workspace is located by walking up from the current directory
+//! to the first `Cargo.toml` declaring `[workspace]`. `--json PATH`
+//! additionally writes the pinned `parcom-audit-report/v1` document CI
+//! archives. Exits nonzero when any rule fires; diagnostics are
+//! `file:line: [rule] offending-line` with notes and call-chain evidence
+//! indented below. Unused `audit:allow` markers print as warnings and do
+//! not affect the exit status.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,47 +31,77 @@ fn find_workspace_root() -> Option<PathBuf> {
 }
 
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
-        None => match find_workspace_root() {
-            Some(root) => root,
-            None => {
-                eprintln!("parcom-audit: no workspace root found above the current directory");
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args_os().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.to_str() {
+            Some("--json") => json_path = args.next().map(PathBuf::from),
+            Some("--help" | "-h") => {
+                eprintln!("usage: parcom-audit [root] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            Some(flag) if flag.starts_with("--") => {
+                eprintln!("parcom-audit: unknown flag `{flag}`");
                 return ExitCode::FAILURE;
             }
-        },
+            _ => root = Some(PathBuf::from(arg)),
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("parcom-audit: no workspace root found above the current directory");
+            return ExitCode::FAILURE;
+        }
     };
 
-    let violations = match parcom_audit::scan_workspace(&root) {
-        Ok(v) => v,
+    let report = match parcom_audit::scan_workspace_report(&root) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("parcom-audit: scanning {} failed: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
 
-    if violations.is_empty() {
-        println!("parcom-audit: clean ({})", root.display());
-        return ExitCode::SUCCESS;
-    }
-    for v in &violations {
-        println!("{v}");
-    }
-    let mut by_rule: Vec<(parcom_audit::Rule, usize)> = Vec::new();
-    for rule in parcom_audit::Rule::ALL {
-        let count = violations.iter().filter(|v| v.rule == rule).count();
-        if count > 0 {
-            by_rule.push((rule, count));
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("parcom-audit: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
-    let summary: Vec<String> = by_rule
-        .iter()
-        .map(|(rule, count)| format!("{count} {rule}"))
-        .collect();
-    eprintln!(
-        "parcom-audit: {} violation(s): {}",
-        violations.len(),
-        summary.join(", ")
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for u in &report.unused_allows {
+        eprintln!(
+            "{}:{}: warning: unused audit:allow({}) — it suppresses nothing; stale marker or typo'd rule name",
+            u.file, u.line, u.rule
+        );
+    }
+
+    println!(
+        "parcom-audit: {} files on {} threads in {:.1} ms",
+        report.files_scanned,
+        report.threads,
+        report.elapsed_micros as f64 / 1000.0
     );
-    ExitCode::FAILURE
+    for (rule, stat) in parcom_audit::Rule::ALL.iter().zip(&report.stats) {
+        println!(
+            "  {:22} fired {:3}  suppressed {:3}  {:9.2} ms",
+            rule.name(),
+            stat.fired,
+            stat.suppressed,
+            stat.micros as f64 / 1000.0
+        );
+    }
+
+    if report.violations.is_empty() {
+        println!("parcom-audit: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("parcom-audit: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
 }

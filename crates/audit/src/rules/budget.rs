@@ -1,0 +1,59 @@
+//! The cooperative-cancellation rules: intra-function `budget-check` and
+//! interprocedural `budget-propagation`.
+
+use super::RawViolation;
+use crate::callgraph::{propagate_budgets, CallGraph};
+use crate::model::{is_par_site, range_has_budget_check, FileModel};
+
+/// `budget-check`: inside a `budget: &Budget` function, every *outermost*
+/// loop that does real work (contains a nested loop or a parallel call)
+/// must call `budget.check*` somewhere in its extent. Single-level
+/// bookkeeping loops are exempt — budget checks are amortized at
+/// sweep/merge granularity by design, never per element.
+pub fn budget_check(model: &FileModel) -> Vec<RawViolation> {
+    let toks = &model.lex.tokens;
+    let mut out = Vec::new();
+    for f in &model.fns {
+        if !f.takes_budget || f.is_test {
+            continue;
+        }
+        for l in f.loops.iter().filter(|l| l.outermost) {
+            let end = l.body_close.min(toks.len());
+            let heavy = (l.kw_tok..end).any(|k| is_par_site(toks, k))
+                || f.loops
+                    .iter()
+                    .any(|o| o.kw_tok != l.kw_tok && o.kw_tok > l.kw_tok && o.kw_tok < end);
+            if heavy && !range_has_budget_check(toks, l.kw_tok, end) {
+                out.push(
+                    RawViolation::at(l.header_line, toks[l.kw_tok].col).with_note(format!(
+                        "outermost heavy loop in `{}` never calls budget.check*",
+                        f.name
+                    )),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// `budget-propagation` over a whole set of file models: heavy functions
+/// reachable from a budgeted root without taking the budget themselves.
+/// Returns `(file index, finding)` pairs; the chain evidence rides on the
+/// violation. Allow-filtering happens in the framework like for every
+/// other rule (the marker sits on the offending function's `fn` line).
+pub fn propagation(models: &[FileModel]) -> Vec<(usize, RawViolation)> {
+    let graph = CallGraph::build(models);
+    propagate_budgets(&graph)
+        .into_iter()
+        .map(|finding| {
+            let item = graph.item(finding.def);
+            let col = graph.file(finding.def).lex.tokens[item.fn_tok].col;
+            let mut v = RawViolation::at(item.line, col).with_note(format!(
+                "heavy function `{}` is reachable from a budgeted root but takes no budget",
+                item.name
+            ));
+            v.chain = finding.chain;
+            (finding.def.0, v)
+        })
+        .collect()
+}

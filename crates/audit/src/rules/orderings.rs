@@ -1,0 +1,66 @@
+//! Atomic-ordering rules: where `Ordering::*` may appear at all
+//! (`atomic-ordering`) and how strong it may be where it is allowed
+//! (`ordering-escalation`).
+
+use super::RawViolation;
+use crate::model::FileModel;
+use crate::{path_allowed, ORDERING_ALLOWED};
+
+/// Atomic memory-`Ordering` variant names. The `cmp::Ordering` variants
+/// (`Less`, `Equal`, `Greater`) are disjoint, so a token match on these
+/// names cannot confuse the two enums.
+const ATOMIC_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Variants stronger than the documented `Relaxed`(-write)/`Acquire`(-read)
+/// protocol of the benign-race design (DESIGN.md §7): any of these in a
+/// reviewed atomic module means the protocol changed and the paper-style
+/// race argument needs re-review.
+const ESCALATED_VARIANTS: &[&str] = &["Release", "AcqRel", "SeqCst"];
+
+/// Finds `Ordering::<variant>` token triples, returning `(line, col,
+/// variant)` per occurrence.
+fn ordering_sites<'m>(model: &'m FileModel, variants: &[&str]) -> Vec<(u32, u32, &'m str)> {
+    let toks = &model.lex.tokens;
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        if toks[k].is_ident("Ordering")
+            && toks.get(k + 1).is_some_and(|t| t.is_punct("::"))
+            && toks
+                .get(k + 2)
+                .is_some_and(|t| variants.iter().any(|v| t.is_ident(v)))
+        {
+            out.push((toks[k].line, toks[k].col, toks[k + 2].text.as_str()));
+        }
+    }
+    out
+}
+
+/// `atomic-ordering`: any atomic `Ordering` variant outside the reviewed
+/// module allowlist.
+pub fn atomic_ordering(model: &FileModel) -> Vec<RawViolation> {
+    if path_allowed(&model.path, ORDERING_ALLOWED) {
+        return Vec::new();
+    }
+    ordering_sites(model, ATOMIC_VARIANTS)
+        .into_iter()
+        .map(|(line, col, _)| RawViolation::at(line, col))
+        .collect()
+}
+
+/// `ordering-escalation`: inside the reviewed modules, any ordering
+/// stronger than the documented `Relaxed`/`Acquire` pairs.
+pub fn ordering_escalation(model: &FileModel) -> Vec<RawViolation> {
+    if !path_allowed(&model.path, ORDERING_ALLOWED) {
+        // outside the allowlist `atomic-ordering` already rejects every
+        // variant; double-reporting the same token helps nobody
+        return Vec::new();
+    }
+    ordering_sites(model, ESCALATED_VARIANTS)
+        .into_iter()
+        .map(|(line, col, v)| {
+            RawViolation::at(line, col).with_note(format!(
+                "Ordering::{v} is stronger than the documented Relaxed/Acquire protocol"
+            ))
+        })
+        .collect()
+}

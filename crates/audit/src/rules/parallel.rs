@@ -1,0 +1,386 @@
+//! The rayon-hygiene rules: `lock-across-parallel` and
+//! `panic-in-parallel`. Both need the same two derived views of a file:
+//! the *parallel regions* (token spans of `.par_*` / `rayon::join|scope`
+//! call chains) and the *closure bodies* fed into them.
+
+use super::RawViolation;
+use crate::lexer::{Token, TokenKind};
+use crate::model::{is_par_site, match_forward, FileModel};
+
+/// A closure literal: the token starting it (`|` or `||`) and the
+/// half-open token range of its body.
+struct Closure {
+    start: usize,
+    body: (usize, usize),
+}
+
+/// Token spans `[start, end)` of parallel call chains: from a parallel
+/// call site to the end of its statement / argument position.
+fn par_regions(model: &FileModel) -> Vec<(usize, usize)> {
+    let toks = &model.lex.tokens;
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for k in 0..toks.len() {
+        if !is_par_site(toks, k) {
+            continue;
+        }
+        // extend a previous region instead of re-walking overlapping spans
+        if out.last().is_some_and(|&(_, e)| k < e) {
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut j = k + 1;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokenKind::Open => depth += 1,
+                TokenKind::Close if depth == 0 => break, // closes an enclosing delimiter
+                TokenKind::Close => depth -= 1,
+                TokenKind::Punct if depth == 0 && (toks[j].text == ";" || toks[j].text == ",") => {
+                    break
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((k, j));
+    }
+    out
+}
+
+/// True when the token before index `k` can precede a closure literal
+/// (rather than making `|` a binary operator or a pattern alternative).
+fn closure_can_start_after(prev: Option<&Token>) -> bool {
+    match prev {
+        None => true,
+        Some(t) => {
+            t.kind == TokenKind::Open
+                || matches!(
+                    t.text.as_str(),
+                    "," | ";" | "=" | "=>" | "&&" | "!" | "?" | ":"
+                )
+                || t.is_ident("move")
+                || t.is_ident("return")
+                || t.is_ident("else")
+        }
+    }
+}
+
+/// All closure literals in a file with their body spans. Brace bodies use
+/// the matched `{ … }`; expression bodies run to the `,`/`;`/closing
+/// delimiter ending them.
+fn closure_bodies(model: &FileModel) -> Vec<Closure> {
+    let toks = &model.lex.tokens;
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        let params_end = if t.is_punct("||")
+            && closure_can_start_after(k.checked_sub(1).map(|p| &toks[p]))
+        {
+            k
+        } else if t.is_punct("|") && closure_can_start_after(k.checked_sub(1).map(|p| &toks[p])) {
+            // find the closing `|` of the parameter list
+            let mut depth: i64 = 0;
+            let mut j = k + 1;
+            while let Some(p) = toks.get(j) {
+                match p.kind {
+                    TokenKind::Open => depth += 1,
+                    TokenKind::Close => depth -= 1,
+                    TokenKind::Punct if depth == 0 && p.text == "|" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= toks.len() {
+                continue;
+            }
+            j
+        } else {
+            continue;
+        };
+        // optional `-> Type`, then the body
+        let mut m = params_end + 1;
+        if toks.get(m).is_some_and(|t| t.is_punct("->")) {
+            let mut depth: i64 = 0;
+            while m < toks.len() {
+                match toks[m].kind {
+                    TokenKind::Open if depth == 0 && toks[m].is_open('{') => break,
+                    TokenKind::Open => depth += 1,
+                    TokenKind::Close => depth -= 1,
+                    _ => {}
+                }
+                m += 1;
+            }
+        }
+        let body = match toks.get(m) {
+            Some(t) if t.is_open('{') => (m + 1, match_forward(toks, m)),
+            Some(_) => {
+                // expression body: to the `,`/`;`/enclosing-close ending it
+                let mut depth: i64 = 0;
+                let mut e = m;
+                while e < toks.len() {
+                    match toks[e].kind {
+                        TokenKind::Open => depth += 1,
+                        TokenKind::Close if depth == 0 => break,
+                        TokenKind::Close => depth -= 1,
+                        TokenKind::Punct
+                            if depth == 0 && (toks[e].text == "," || toks[e].text == ";") =>
+                        {
+                            break
+                        }
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                (m, e)
+            }
+            None => continue,
+        };
+        out.push(Closure { start: k, body });
+    }
+    out
+}
+
+/// Macro names that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// `panic-in-parallel`: `unwrap()`, `expect(..)` or a panicking macro
+/// inside a closure that is fed into a parallel call chain, outside test
+/// code. One worker panicking tears down the whole rayon pool mid-run —
+/// parallel closures must stay total. `assert!` family is deliberately
+/// not matched: precondition checks in parallel code are the documented
+/// contract (`builder.rs` validates edge endpoints that way), while
+/// `unwrap` is an unhandled `Option`/`Result` path.
+pub fn panic_in_parallel(model: &FileModel) -> Vec<RawViolation> {
+    let toks = &model.lex.tokens;
+    let regions = par_regions(model);
+    if regions.is_empty() {
+        return Vec::new();
+    }
+    let par_closures: Vec<Closure> = closure_bodies(model)
+        .into_iter()
+        .filter(|c| regions.iter().any(|&(s, e)| c.start > s && c.start < e))
+        .collect();
+    if par_closures.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let what = if matches!(t.text.as_str(), "unwrap" | "expect")
+            && k > 0
+            && toks[k - 1].is_punct(".")
+            && toks.get(k + 1).is_some_and(|n| n.is_open('('))
+        {
+            format!(".{}(..)", t.text)
+        } else if PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(k + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            format!("{}!", t.text)
+        } else {
+            continue;
+        };
+        if model.in_test(k) {
+            continue;
+        }
+        if par_closures.iter().any(|c| k >= c.body.0 && k < c.body.1) {
+            out.push(RawViolation::at(t.line, t.col).with_note(format!(
+                "{what} inside a parallel closure tears down the worker pool on failure"
+            )));
+        }
+    }
+    out
+}
+
+/// Chained methods that keep returning the *guard* (or a `Result`/`Option`
+/// of it) rather than a value extracted from it.
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// `lock-across-parallel`: a `.lock()` / `.borrow_mut()` guard that is
+/// still live when a parallel region is issued in the same scope. Workers
+/// contending for the held lock serialize (or deadlock, for a re-entrant
+/// borrow); the guard must be dropped — scoped or `drop()`ed — before
+/// fanning out.
+///
+/// A *bound* guard (`let g = m.lock().unwrap();`) is live from its
+/// statement to the end of its scope or an explicit `drop(g)`. A
+/// *temporary* guard (`m.lock().unwrap().pop()`) dies at its statement's
+/// end and only trips the rule if that same statement issues parallel
+/// work.
+pub fn lock_across_parallel(model: &FileModel) -> Vec<RawViolation> {
+    let toks = &model.lex.tokens;
+    let mut out = Vec::new();
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if !(t.is_ident("lock") || t.is_ident("borrow_mut"))
+            || !(k > 0 && toks[k - 1].is_punct("."))
+            || !toks.get(k + 1).is_some_and(|n| n.is_open('('))
+            || !toks.get(k + 2).is_some_and(|n| n.is_close(')'))
+            || model.in_test(k)
+        {
+            continue;
+        }
+        // statement extent around the lock call
+        let mut stmt_start = 0usize;
+        for j in (0..k).rev() {
+            if toks[j].is_punct(";") || toks[j].is_open('{') || toks[j].is_close('}') {
+                stmt_start = j + 1;
+                break;
+            }
+        }
+        let mut depth: i64 = 0;
+        let mut stmt_end = k;
+        while stmt_end < toks.len() {
+            match toks[stmt_end].kind {
+                TokenKind::Open => depth += 1,
+                TokenKind::Close if depth == 0 => break,
+                TokenKind::Close => depth -= 1,
+                TokenKind::Punct if depth == 0 && toks[stmt_end].text == ";" => break,
+                _ => {}
+            }
+            stmt_end += 1;
+        }
+        // follow the guard-preserving chain after `.lock()`
+        let mut j = k + 3;
+        while j < toks.len() {
+            if toks[j].is_punct("?") {
+                j += 1;
+            } else if toks[j].is_punct(".")
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|n| GUARD_PRESERVING.contains(&n.text.as_str()))
+                && toks.get(j + 2).is_some_and(|n| n.is_open('('))
+            {
+                j = match_forward(toks, j + 2) + 1;
+            } else {
+                break;
+            }
+        }
+        let transformed = toks.get(j).is_some_and(|n| n.is_punct("."));
+        let bound = toks.get(stmt_start).is_some_and(|n| n.is_ident("let")) && !transformed;
+
+        let live = if bound {
+            // binding name (skip `mut`; destructured guards keep None and
+            // fall back to scope-end liveness)
+            let mut n = stmt_start + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            let name = toks
+                .get(n)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+            let scope = model.scopes.at(k);
+            let mut end = model.scopes.scopes[scope].close;
+            if let Some(name) = &name {
+                for d in stmt_end..end.min(toks.len()) {
+                    if toks[d].is_ident("drop")
+                        && toks.get(d + 1).is_some_and(|t| t.is_open('('))
+                        && toks.get(d + 2).is_some_and(|t| t.is_ident(name))
+                    {
+                        end = d;
+                        break;
+                    }
+                }
+            }
+            (stmt_end, end)
+        } else {
+            (k, stmt_end)
+        };
+
+        if let Some(p) = (live.0..live.1.min(toks.len())).find(|&j| is_par_site(toks, j)) {
+            out.push(RawViolation::at(t.line, t.col).with_note(format!(
+                "guard from `.{}()` is still live at the parallel call `{}` on line {}",
+                t.text, toks[p].text, toks[p].line
+            )));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn m(src: &str) -> FileModel {
+        FileModel::build("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn unwrap_in_par_closure_fires() {
+        let v = panic_in_parallel(&m(
+            "fn f(xs: &[Option<u32>]) {\n    xs.par_iter().map(|x| x.unwrap()).sum::<u32>();\n}\n",
+        ));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_outside_the_parallel_chain_is_fine() {
+        let v = panic_in_parallel(&m(
+            "fn f(xs: &[u32]) {\n    let n = first().unwrap();\n    xs.par_iter().map(|x| x + n).sum::<u32>();\n}\n",
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn panic_macro_in_rayon_join_fires() {
+        let v = panic_in_parallel(&m(
+            "fn f() {\n    rayon::join(|| work(), || panic!(\"boom\"));\n}\n",
+        ));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn brace_bodied_closure_in_for_each_fires() {
+        let v = panic_in_parallel(&m(
+            "fn f(xs: &[Option<u32>]) {\n    xs.par_iter().for_each(|x| {\n        let v = x.expect(\"present\");\n        work(v);\n    });\n}\n",
+        ));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn bound_guard_live_at_par_fires() {
+        let v = lock_across_parallel(&m(
+            "fn f(m: &Mutex<Vec<u32>>, xs: &[u32]) {\n    let g = m.lock().unwrap();\n    xs.par_iter().for_each(|x| work(*x, &g));\n}\n",
+        ));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn dropped_guard_is_fine() {
+        let v = lock_across_parallel(&m(
+            "fn f(m: &Mutex<Vec<u32>>, xs: &[u32]) {\n    let g = m.lock().unwrap();\n    let n = g.len();\n    drop(g);\n    xs.par_iter().for_each(|x| work(*x, n));\n}\n",
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn temporary_guard_statement_is_fine() {
+        // the ScratchPool idiom: lock, pop, guard dies with the statement
+        let v = lock_across_parallel(&m(
+            "fn f(m: &Mutex<Vec<u32>>, xs: &[u32]) {\n    let popped = m.lock().unwrap().pop();\n    xs.par_iter().for_each(work);\n}\n",
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn temporary_guard_inside_a_par_statement_fires() {
+        let v = lock_across_parallel(&m(
+            "fn f(m: &Mutex<Vec<u32>>, xs: &[u32]) {\n    consume(m.lock().unwrap(), xs.par_iter().sum::<u32>());\n}\n",
+        ));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn scoped_guard_before_par_is_fine() {
+        let v = lock_across_parallel(&m(
+            "fn f(m: &Mutex<Vec<u32>>, xs: &[u32]) {\n    let n = { let g = m.lock().unwrap(); g.len() };\n    xs.par_iter().for_each(|x| work(*x, n));\n}\n",
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

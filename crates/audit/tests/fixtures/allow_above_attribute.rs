@@ -1,0 +1,34 @@
+// Fixture: regression coverage for the allow-marker matcher. A marker
+// above an attribute stack, between an attribute and the item, or on the
+// first line of a multi-line statement must still suppress a finding
+// whose diagnostic points at a later line. Every violation here is
+// suppressed, so the scan must return nothing. Never compiled.
+
+// audit:allow(budget-propagation): reviewed, one bounded pass per call
+#[inline]
+#[cold]
+fn heavy_behind_attributes(g: &Graph) {
+    for _s in 0..10 {
+        for u in g.nodes() {
+            touch(u);
+        }
+    }
+}
+
+fn run_guarded(g: &Graph, budget: &Budget) {
+    heavy_behind_attributes(g);
+    sized(g);
+}
+
+#[inline]
+// audit:allow(budget-propagation): marker between attribute and item
+fn sized(g: &Graph) {
+    g.nodes().par_iter().for_each(touch);
+}
+
+fn multiline_statement(v: &[u64]) -> u32 {
+    // audit:allow(lossy-cast): bounded by the u32 id space
+    let narrowed = v
+        .len() as u32;
+    narrowed
+}

@@ -1,0 +1,44 @@
+// Fixture: a budgeted entry point reaches a heavy helper through a thin
+// wrapper, and the helper does not take the budget — the cancellation
+// promise silently ends at the wrapper call. The budgeted callee and the
+// light bookkeeping helper below must NOT fire. Never compiled.
+
+fn run_guarded(g: &Graph, budget: &Budget) -> Partition {
+    let zeta = wrapper(g);
+    checked_refine(g, budget);
+    tally(g);
+    zeta
+}
+
+fn wrapper(g: &Graph) -> Partition {
+    heavy_sweeps(g)
+}
+
+fn heavy_sweeps(g: &Graph) -> Partition {
+    let mut zeta = Partition::singleton(g.node_count());
+    for _sweep in 0..100 {
+        for u in g.nodes() {
+            zeta.move_to_best(u);
+        }
+    }
+    zeta
+}
+
+fn checked_refine(g: &Graph, budget: &Budget) {
+    for _sweep in 0..100 {
+        if budget.check_sweep().is_err() {
+            break;
+        }
+        for u in g.nodes() {
+            refine(u);
+        }
+    }
+}
+
+fn tally(g: &Graph) -> usize {
+    let mut total = 0;
+    for u in g.nodes() {
+        total += u as usize;
+    }
+    total
+}

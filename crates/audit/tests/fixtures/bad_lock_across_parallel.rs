@@ -1,0 +1,31 @@
+// Fixture: a mutex guard bound before a parallel region and still live
+// when the workers fan out — they serialize on (or deadlock against) the
+// held lock. The temporary, dropped and scoped shapes below must NOT
+// fire. Never compiled.
+
+fn guard_held_across_par(m: &Mutex<Vec<u32>>, xs: &[u32]) -> u32 {
+    let guard = m.lock().unwrap();
+    xs.par_iter().map(|x| x + guard.first().copied().unwrap_or(0)).sum()
+}
+
+fn temporary_guard_is_fine(m: &Mutex<Vec<u32>>, xs: &[u32]) -> Option<u32> {
+    // the ScratchPool idiom: lock, pop, guard dies with the statement
+    let popped = m.lock().unwrap_or_else(|e| e.into_inner()).pop();
+    xs.par_iter().for_each(touch);
+    popped
+}
+
+fn dropped_guard_is_fine(m: &Mutex<Vec<u32>>, xs: &[u32]) -> u32 {
+    let guard = m.lock().unwrap();
+    let n = guard.first().copied().unwrap_or(0);
+    drop(guard);
+    xs.par_iter().map(|x| x + n).sum()
+}
+
+fn scoped_guard_is_fine(m: &Mutex<Vec<u32>>, xs: &[u32]) -> u32 {
+    let n = {
+        let guard = m.lock().unwrap();
+        guard.first().copied().unwrap_or(0)
+    };
+    xs.par_iter().map(|x| x + n).sum()
+}

@@ -1,0 +1,23 @@
+// Fixture: ordering escalation inside an allowlisted atomics module. The
+// test scans this at a synthetic ORDERING_ALLOWED path, where plain
+// Relaxed/Acquire usage is the documented protocol but Release, AcqRel
+// and SeqCst mean the benign-race argument changed and needs re-review.
+// Never compiled.
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn documented_protocol(flag: &AtomicU32) -> u32 {
+    flag.store(1, Ordering::Relaxed);
+    flag.load(Ordering::Acquire)
+}
+
+fn escalated_store(flag: &AtomicU32) {
+    flag.store(1, Ordering::Release);
+}
+
+fn escalated_rmw(flag: &AtomicU32) -> u32 {
+    flag.swap(2, Ordering::AcqRel)
+}
+
+fn escalated_load(flag: &AtomicU32) -> u32 {
+    flag.load(Ordering::SeqCst)
+}

@@ -1,0 +1,26 @@
+// Fixture: panicking constructs inside rayon closures — one worker
+// panicking tears down the whole pool mid-run. The sequential unwrap and
+// the test-module unwrap below must NOT fire. Never compiled.
+
+fn unwrap_in_par_closure(xs: &[Option<u32>]) -> u32 {
+    xs.par_iter().map(|x| x.unwrap()).sum()
+}
+
+fn panic_macro_in_join(flag: bool) {
+    rayon::join(|| work(), || if flag { panic!("boom") });
+}
+
+fn sequential_unwrap_is_fine(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    xs.par_iter().map(|x| x + first).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_in_par_closure_is_fine() {
+        let xs = vec![Some(1u32)];
+        let total: u32 = xs.par_iter().map(|x| x.unwrap()).sum();
+        assert_eq!(total, 1);
+    }
+}

@@ -1,0 +1,20 @@
+// Golden-report fixture workspace: a deterministic mix of violations,
+// a suppressed finding, and an unused marker, pinned byte-for-byte by
+// the parcom-audit-report/v1 golden test. Do not reformat casually —
+// lines and columns are part of the pinned output. Never compiled.
+static mut COUNTER: u64 = 0;
+
+fn run_guarded(g: &Graph, budget: &Budget) {
+    helper(g);
+}
+
+fn helper(g: &Graph) {
+    g.nodes().par_iter().for_each(|u| work(u).unwrap());
+}
+
+fn sizes(v: &[u64]) -> u32 {
+    v.len() as u32 // audit:allow(lossy-cast): checked at construction
+}
+
+// audit:allow(static-mut): stale marker, suppresses nothing
+fn anchor() {}

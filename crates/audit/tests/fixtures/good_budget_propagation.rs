@@ -1,0 +1,28 @@
+// Fixture: the negative shapes for budget-propagation. Every heavy
+// helper reachable from the budgeted root either takes the budget itself
+// or carries a reviewed allow marker; the scan must return nothing.
+// Never compiled.
+
+fn run_guarded(g: &Graph, budget: &Budget) -> Partition {
+    let zeta = threaded(g, budget);
+    amortized(g);
+    zeta
+}
+
+fn threaded(g: &Graph, budget: &Budget) -> Partition {
+    let mut zeta = Partition::singleton(g.node_count());
+    for _sweep in 0..100 {
+        if budget.check_sweep().is_err() {
+            break;
+        }
+        for u in g.nodes() {
+            zeta.move_to_best(u);
+        }
+    }
+    zeta
+}
+
+// audit:allow(budget-propagation): one bounded pass per call, reviewed
+fn amortized(g: &Graph) {
+    g.nodes().par_iter().for_each(touch);
+}

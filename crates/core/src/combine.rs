@@ -15,6 +15,7 @@ use rayon::prelude::*;
 /// Hash-based core-communities combine (the paper's parallel algorithm).
 ///
 /// Panics if `solutions` is empty or the solutions disagree on length.
+// audit:allow(budget-propagation): one bounded hash pass per ensemble round; the caller checks the budget between rounds
 pub fn core_communities(solutions: &[Partition]) -> Partition {
     assert!(!solutions.is_empty(), "need at least one base solution");
     let n = solutions[0].len();

@@ -30,6 +30,7 @@ pub struct CommunityAggregates {
 /// Parallel: threads fold thread-local accumulator vectors over node
 /// ranges, then reduce element-wise — modularity is evaluated after every
 /// phase of every multilevel algorithm, so this scan is on the hot path.
+// audit:allow(budget-propagation): single bounded parallel scan; callers check the budget at phase boundaries
 pub fn community_aggregates(g: &Graph, zeta: &Partition) -> CommunityAggregates {
     assert_eq!(zeta.len(), g.node_count(), "partition does not cover graph");
     let ub = zeta.upper_bound() as usize;

@@ -31,6 +31,7 @@ pub struct Coarsening {
 impl Coarsening {
     /// Prolongs a solution on the coarse graph to the fine graph:
     /// `ζ(v) = ζ'(π(v))`.
+    // audit:allow(budget-propagation): one bounded parallel map per level; callers check the budget at level boundaries
     pub fn prolong(&self, coarse_solution: &Partition) -> Partition {
         assert_eq!(coarse_solution.len(), self.coarse.node_count());
         let data: Vec<u32> = self
@@ -66,6 +67,7 @@ pub fn coarsen(g: &Graph, zeta: &Partition) -> Coarsening {
 /// a `coarsen` span and records the merge count (fine nodes absorbed into
 /// other nodes) plus the coarse graph's size on it. With a disabled
 /// recorder this is exactly `coarsen`.
+// audit:allow(budget-propagation): one contraction per level; callers check the budget at level boundaries
 pub fn coarsen_with(g: &Graph, zeta: &Partition, rec: &Recorder) -> Coarsening {
     assert_eq!(zeta.len(), g.node_count());
     let span = rec.span("coarsen");

@@ -134,6 +134,7 @@ impl Graph {
 
     /// Parallel iterator over all node ids.
     #[inline]
+    // audit:allow(budget-propagation): constructs a lazy parallel iterator; no work runs until the caller drives it
     pub fn par_nodes(&self) -> rayon::range::Iter<Node> {
         (0..self.node_count() as Node).into_par_iter() // audit:allow(lossy-cast): bounded by the u32 node id space
     }

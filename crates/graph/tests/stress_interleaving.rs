@@ -130,7 +130,7 @@ fn plp_benign_race_labels_stay_in_range_and_converge() {
     const N: usize = 512;
     for _ in 0..ROUNDS {
         let labels = AtomicPartition::singleton(N);
-        let upper = N as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
+        let upper = N as u32;
         let start = Barrier::new(THREADS);
         std::thread::scope(|s| {
             for t in 0..THREADS {

@@ -46,6 +46,7 @@ pub(crate) struct Chunk<'a> {
 /// exactly one chunk and concatenating the chunks in order reproduces the
 /// input, so parsing chunk-by-chunk in order is equivalent to parsing the
 /// whole buffer.
+// audit:allow(budget-propagation): one linear split bounded by the input buffer; parse callers gate phases on the budget
 pub(crate) fn chunk_lines(bytes: &[u8], parts: usize, base_line: usize) -> Vec<Chunk<'_>> {
     let parts = parts.max(1);
     let mut slices: Vec<&[u8]> = Vec::with_capacity(parts);

@@ -87,6 +87,7 @@ struct ParsedEdgeList {
 /// Tokenizes in parallel (up to `parts` chunks), then interns labels
 /// sequentially in chunk = line order, preserving the first-seen
 /// numbering of the sequential reader.
+// audit:allow(budget-propagation): one bounded parallel tokenize per input file; the driver checks the budget between pipeline phases
 fn parse_edge_list(bytes: &[u8], parts: usize) -> Result<ParsedEdgeList, IoError> {
     let chunks = chunk::chunk_lines(bytes, parts, 1);
     let per_chunk =

@@ -155,6 +155,7 @@ fn neighbor_token_slow(
 /// [`neighbor_token_slow`]. `\n` and `\r` are ASCII whitespace, so the
 /// token boundary checks double as line-end checks.
 #[allow(clippy::type_complexity)] // (edges, data-line count) — a one-use pair
+                                  // audit:allow(budget-propagation): linear scan bounded by the chunk; the driver checks the budget between pipeline phases
 fn parse_body_chunk(
     c: Chunk<'_>,
     start_node: usize,

@@ -159,7 +159,7 @@ proptest! {
         // race relaxed writes of in-range labels against each other; the
         // result must still be a valid partition with every label one
         // some thread actually wrote (never torn, never out of range)
-        let upper = n as u32; // audit:allow(lossy-cast): bounded by the u32 node id space
+        let upper = n as u32;
         let labels = AtomicPartition::singleton(n);
         std::thread::scope(|s| {
             for plan in &plans {
