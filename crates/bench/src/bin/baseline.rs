@@ -5,8 +5,11 @@
 //! microkernel in both formulations (hash map vs generation-stamped
 //! scratch) on each graph, plus end-to-end graph ingest (METIS parse +
 //! CSR build) on a ~1M-edge instance: the retained sequential reference
-//! path against the chunked parallel pipeline. Results go to
-//! `BENCH_kernels.json` (schema `parcom-bench-kernels/v2`) together with
+//! path against the chunked parallel pipeline, and a resident-vs-cold
+//! serving comparison: the same detection request against a running
+//! `parcom-serve` daemon holding the graph in memory versus the cold
+//! parse-then-detect path a CLI invocation pays. Results go to
+//! `BENCH_kernels.json` (schema `parcom-bench-kernels/v3`) together with
 //! each run's structured [`RunReport`]; a human-readable summary goes to
 //! stderr.
 //!
@@ -27,7 +30,7 @@ use parcom_graph::{Graph, SparseWeightMap};
 use parcom_obs::{json, Recorder};
 
 /// Schema tag of the emitted JSON document.
-const SCHEMA: &str = "parcom-bench-kernels/v2";
+const SCHEMA: &str = "parcom-bench-kernels/v3";
 /// Seed of both instance generators and (offset by algorithm) the runs.
 const SEED: u64 = 42;
 /// Repetitions of each microkernel pass; the minimum is reported.
@@ -131,13 +134,9 @@ struct IngestResult {
 /// Measures METIS ingest (parse + CSR build) on a ~1M-edge BA graph:
 /// the retained sequential reference against the chunked pipeline, plus
 /// the parallel path's parse/build phase split via the recorded reader.
-fn measure_ingest() -> IngestResult {
-    use parcom_io::metis::{read_metis_bytes, read_metis_recorded, read_metis_seq, write_metis_to};
+fn measure_ingest(name: &str, g: &Graph, buf: &[u8]) -> IngestResult {
+    use parcom_io::metis::{read_metis_bytes, read_metis_recorded, read_metis_seq};
 
-    let name = "ba_65k_a16_metis";
-    let g = barabasi_albert(65_000, 16, SEED);
-    let mut buf: Vec<u8> = Vec::new();
-    write_metis_to(&g, &mut buf).expect("rendering the ingest instance failed");
     eprintln!(
         "[baseline] ingest {name}: n={} m={} ({} MiB)",
         g.node_count(),
@@ -146,16 +145,16 @@ fn measure_ingest() -> IngestResult {
     );
 
     // sanity: both paths produce the same graph before timing them
-    let a = read_metis_seq(&buf).expect("sequential ingest failed");
-    let b = read_metis_bytes(&buf).expect("parallel ingest failed");
+    let a = read_metis_seq(buf).expect("sequential ingest failed");
+    let b = read_metis_bytes(buf).expect("parallel ingest failed");
     assert_eq!(a.edge_count(), b.edge_count(), "ingest paths diverged");
 
-    let seq_ms = min_ms(KERNEL_REPS, || read_metis_seq(&buf).unwrap());
-    let par_ms = min_ms(KERNEL_REPS, || read_metis_bytes(&buf).unwrap());
+    let seq_ms = min_ms(KERNEL_REPS, || read_metis_seq(buf).unwrap());
+    let par_ms = min_ms(KERNEL_REPS, || read_metis_bytes(buf).unwrap());
 
     // phase split of the parallel path via the recorded entry point
     let path = std::env::temp_dir().join("parcom_baseline_ingest.metis");
-    std::fs::write(&path, &buf).expect("writing the ingest temp file failed");
+    std::fs::write(&path, buf).expect("writing the ingest temp file failed");
     let (mut par_parse_ms, mut par_build_ms) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..KERNEL_REPS {
         let rec = Recorder::enabled();
@@ -181,6 +180,194 @@ fn measure_ingest() -> IngestResult {
         par_parse_ms,
         par_build_ms,
     }
+}
+
+/// Resident-vs-cold serving comparison on the ingest instance.
+struct ServeResult {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    spec: String,
+    /// One-time cost of loading the graph into the daemon (inline METIS
+    /// upload: HTTP + budgeted parse + CSR build + store insert).
+    load_ms: f64,
+    /// Detection request against the resident graph: HTTP round-trip +
+    /// detection, no parse.
+    resident_ms: f64,
+    /// What a cold CLI invocation pays for the same detection: METIS parse
+    /// + CSR build + detection.
+    cold_ms: f64,
+}
+
+/// One HTTP exchange against the bench daemon; panics on transport errors
+/// (the daemon is local and owned by this process).
+fn daemon_request(
+    stream: &mut std::net::TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    use std::io::{Read, Write};
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("daemon request write failed");
+    // responses are either Content-Length or chunked framed; read the head
+    // first, then exactly the framed body
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16384];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream
+            .read(&mut chunk)
+            .expect("daemon response read failed");
+        assert!(n > 0, "daemon closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).unwrap();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("bad status line");
+    let mut rest = buf[head_end + 4..].to_vec();
+    let head_lower = head.to_ascii_lowercase();
+    let body = if head_lower.contains("transfer-encoding: chunked") {
+        let mut decoded = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let line_end = loop {
+                if let Some(p) = rest[pos..].windows(2).position(|w| w == b"\r\n") {
+                    break pos + p;
+                }
+                let n = stream.read(&mut chunk).expect("daemon chunk read failed");
+                assert!(n > 0, "daemon closed mid-chunk");
+                rest.extend_from_slice(&chunk[..n]);
+            };
+            let size = usize::from_str_radix(
+                std::str::from_utf8(&rest[pos..line_end]).unwrap().trim(),
+                16,
+            )
+            .expect("bad chunk size");
+            let data_start = line_end + 2;
+            while rest.len() < data_start + size + 2 {
+                let n = stream.read(&mut chunk).expect("daemon chunk read failed");
+                assert!(n > 0, "daemon closed mid-chunk");
+                rest.extend_from_slice(&chunk[..n]);
+            }
+            if size == 0 {
+                break;
+            }
+            decoded.extend_from_slice(&rest[data_start..data_start + size]);
+            pos = data_start + size + 2;
+        }
+        decoded
+    } else {
+        let length: usize = head_lower
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("response without framing");
+        while rest.len() < length {
+            let n = stream.read(&mut chunk).expect("daemon body read failed");
+            assert!(n > 0, "daemon closed mid-body");
+            rest.extend_from_slice(&chunk[..n]);
+        }
+        rest.truncate(length);
+        rest
+    };
+    (status, String::from_utf8(body).unwrap())
+}
+
+/// Measures resident serving against cold parse-then-detect on the ingest
+/// instance: the daemon runs in-process on a loopback TCP port, the cold
+/// path replays exactly what a CLI invocation does (parse the METIS bytes,
+/// build the CSR, detect).
+fn measure_serve(name: &str, g: &Graph, metis: &[u8]) -> ServeResult {
+    use parcom_core::DetectorSpec;
+    use parcom_io::metis::read_metis_bytes;
+    use parcom_serve::{ServeConfig, Server};
+
+    // PLP is the paper's high-throughput detector — the regime where the
+    // parse actually dominates a cold invocation and residency pays
+    let spec = "plp:seed=1";
+    let server = Server::bind(ServeConfig {
+        addr: Some("127.0.0.1:0".into()),
+        ..ServeConfig::default()
+    })
+    .expect("binding the bench daemon failed");
+    let addr = server.local_tcp_addr().expect("daemon has no TCP address");
+    std::thread::spawn(move || server.run());
+    let mut stream = std::net::TcpStream::connect(addr).expect("connecting to the daemon failed");
+    stream
+        .set_nodelay(true)
+        .expect("setting TCP_NODELAY failed");
+
+    // one-time load: inline METIS upload
+    let mut load_body = String::from("{\"content\":");
+    json::write_str(&mut load_body, std::str::from_utf8(metis).unwrap());
+    load_body.push('}');
+    let ((load_status, _), t) =
+        time(|| daemon_request(&mut stream, "PUT", &format!("/graphs/{name}"), &load_body));
+    assert_eq!(load_status, 201, "bench graph upload failed");
+    let load_ms = t.as_secs_f64() * 1e3;
+
+    // resident detections: HTTP + detect, no parse
+    let detect_body = format!("{{\"graph\":\"{name}\",\"spec\":\"{spec}\"}}");
+    let (first_status, first_body) = daemon_request(&mut stream, "POST", "/detect", &detect_body);
+    assert_eq!(first_status, 200, "resident detect failed: {first_body}");
+    assert!(
+        first_body.contains("\"termination\":\"converged\""),
+        "resident detect did not converge: {first_body}"
+    );
+    let resident_ms = min_ms(KERNEL_REPS, || {
+        daemon_request(&mut stream, "POST", "/detect", &detect_body)
+    });
+
+    // cold path: parse + build + detect, as `parcom detect` would
+    let cold_ms = min_ms(KERNEL_REPS, || {
+        let g = read_metis_bytes(metis).expect("cold parse failed");
+        DetectorSpec::parse(spec)
+            .expect("bench spec invalid")
+            .build()
+            .expect("bench spec build failed")
+            .detect(&g)
+    });
+
+    eprintln!(
+        "[baseline]   serve: load {load_ms:.1} ms once, resident {resident_ms:.1} ms/req vs cold {cold_ms:.1} ms/req ({:.2}x)",
+        cold_ms / resident_ms.max(1e-9)
+    );
+    ServeResult {
+        name: name.to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        spec: spec.to_string(),
+        load_ms,
+        resident_ms,
+        cold_ms,
+    }
+}
+
+fn write_serve(out: &mut String, r: &ServeResult) {
+    out.push_str("{\"name\":");
+    json::write_str(out, &r.name);
+    out.push_str(&format!(",\"nodes\":{},\"edges\":{}", r.nodes, r.edges));
+    out.push_str(",\"spec\":");
+    json::write_str(out, &r.spec);
+    out.push_str(",\"load_ms\":");
+    json::write_f64(out, r.load_ms);
+    out.push_str(",\"resident_ms\":");
+    json::write_f64(out, r.resident_ms);
+    out.push_str(",\"cold_ms\":");
+    json::write_f64(out, r.cold_ms);
+    out.push_str(",\"speedup\":");
+    json::write_f64(out, r.cold_ms / r.resident_ms.max(1e-9));
+    out.push('}');
 }
 
 fn write_ingest(out: &mut String, r: &IngestResult) {
@@ -255,7 +442,15 @@ fn main() {
         measure_instance("lfr_20k_mu03", &lfr_graph),
         measure_instance("rmat_s15_ef16", &rmat_graph),
     ];
-    let ingest = measure_ingest();
+    // the ~1M-edge BA instance feeds both the ingest comparison and the
+    // resident-vs-cold serving comparison
+    let ba_name = "ba_65k_a16_metis";
+    let ba_graph = barabasi_albert(65_000, 16, SEED);
+    let mut ba_metis: Vec<u8> = Vec::new();
+    parcom_io::write_metis_to(&ba_graph, &mut ba_metis)
+        .expect("rendering the ingest instance failed");
+    let ingest = measure_ingest(ba_name, &ba_graph, &ba_metis);
+    let serve = measure_serve(ba_name, &ba_graph, &ba_metis);
 
     let mut doc = String::with_capacity(4096);
     doc.push_str("{\"schema\":");
@@ -269,6 +464,8 @@ fn main() {
     }
     doc.push_str("],\"ingest\":");
     write_ingest(&mut doc, &ingest);
+    doc.push_str(",\"serve\":");
+    write_serve(&mut doc, &serve);
     doc.push('}');
     if let Err(e) = json::validate(&doc) {
         panic!("emitted malformed JSON: {e}");

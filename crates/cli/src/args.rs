@@ -10,16 +10,18 @@
 //! | flag | commands | meaning |
 //! |------|----------|---------|
 //! | `--input FILE` | detect, stats, cg | graph file (`.metis`/`.graph` = METIS, else edge list) |
-//! | `--algo NAME` | detect | `plp`, `plm`, `plmr`, `epp`, `eppr`, `eml`, `louvain`, `pam`, `cel`, `cnm`, `rg`, `cggc`, `cggci` |
+//! | `--algo NAME` | detect | a name from the `parcom_core::spec` registry (`parcom detect` with a bad name prints the current list); knob applicability is validated there too |
 //! | `--threads N` | detect | run inside a pool of `N` workers (0 = the default pool) |
 //! | `--seed S` | generate, detect | seed applied uniformly via `CommunityDetector::set_seed` (default 1) |
 //! | `--report json` | detect | emit the structured `RunReport` as JSON on stdout; the human summary moves to stderr. The report's leading phases are `ingest/parse` and `ingest/build` (graph file ingest timings, with `bytes`/`edges` counters), followed by the algorithm's own phases |
-//! | `--gamma X` | detect | PLM resolution parameter |
-//! | `--ensemble B` | detect | ensemble size for `epp`/`eppr`/`eml`/`cggc`/`cggci` |
+//! | `--gamma X` | detect | resolution parameter, for algorithms whose spec accepts the `gamma` knob |
+//! | `--ensemble B` | detect | ensemble size, for algorithms whose spec accepts the `ensemble` knob |
+//! | `--randomized` | detect | randomized node order, for algorithms whose spec accepts the `randomized` knob |
 //! | `--timeout SECS` | detect | cooperative wall-clock budget: the run stops at the next sweep/level boundary after `SECS` seconds and returns the best valid partition so far; the termination cause lands in the summary and in `--report json` |
 //! | `--max-sweeps N` | detect | cap on total sweeps/levels across the run, with the same graceful degradation |
-//! | `--max-nodes N` / `--max-edges M` | detect | ingest limits: reject input whose header claims more, before allocating |
+//! | `--max-nodes N` / `--max-edges M` | detect, serve | ingest limits: reject input whose header claims more, before allocating |
 //! | `--out FILE` | generate, detect, cg | output file |
+//! | `--socket PATH` / `--listen ADDR` | serve | where the resident daemon listens (Unix socket path / TCP address) |
 
 use std::collections::BTreeMap;
 

@@ -1,14 +1,10 @@
 //! Implementations of the CLI subcommands.
 
 use crate::args::Args;
-use parcom_core::{
-    compare, quality, Budget, Cggc, Cnm, CommunityDetector, CommunityGraph, Epp, EppIterated,
-    Louvain, Pam, Plm, Plp, Rg,
-};
+use parcom_core::{compare, quality, Budget, CommunityDetector, CommunityGraph, DetectorSpec};
 use parcom_graph::stats::{summarize, SummaryOptions};
 use parcom_graph::{Graph, Partition};
 use std::error::Error;
-use std::path::Path;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -26,61 +22,36 @@ fn load_graph(path: &str) -> Result<Graph, Box<dyn Error>> {
 /// on `recorder` (a disabled recorder keeps the zero-overhead path) and
 /// enforcing the budget's ingest limits: METIS headers exceeding them are
 /// rejected before allocation, edge lists after their (header-free) parse.
+/// Thin wrapper over [`parcom_io::load_graph_auto`], the ingest entry point
+/// shared with `parcom-serve`.
 fn load_graph_recorded(
     path: &str,
     recorder: &parcom_obs::Recorder,
     budget: &Budget,
 ) -> Result<Graph, Box<dyn Error>> {
-    let ext = Path::new(path)
-        .extension()
-        .and_then(|e| e.to_str())
-        .unwrap_or("");
-    let g = if matches!(ext, "metis" | "graph") {
-        parcom_io::read_metis_budgeted(path, recorder, budget)?
-    } else {
-        let g = parcom_io::read_edge_list_recorded(path, recorder)?.graph;
-        if budget.admits(g.node_count(), g.edge_count()).is_err() {
-            return Err(format!(
-                "{path}: graph has {} nodes / {} edges, exceeding the ingest limit",
-                g.node_count(),
-                g.edge_count()
-            )
-            .into());
-        }
-        g
-    };
-    Ok(g)
+    Ok(parcom_io::load_graph_auto(path, recorder, budget)?)
 }
 
-/// Builds the requested algorithm. `--seed` is applied uniformly through
+/// Builds the requested algorithm through the [`DetectorSpec`] registry —
+/// the single construction path shared with `parcom-serve`. An unknown
+/// `--algo` errors with the full list of registered names; a knob the
+/// algorithm does not accept (e.g. `--gamma` on `plp`) errors with the
+/// knobs it does. `--seed` is applied uniformly through
 /// [`CommunityDetector::set_seed`]; algorithms without randomized state
 /// ignore it.
 fn make_algorithm(args: &Args) -> Result<Box<dyn CommunityDetector + Send>, Box<dyn Error>> {
-    let gamma: f64 = args.get_or("gamma", 1.0)?;
-    let ensemble: usize = args.get_or("ensemble", 4)?;
-    let seed: u64 = args.get_or("seed", 1)?;
-    let mut algo: Box<dyn CommunityDetector + Send> = match args.require("algo")? {
-        "plp" => Box::new(Plp::new()),
-        "plm" => Box::new(Plm::with_gamma(gamma)),
-        "plmr" => Box::new(Plm {
-            refine: true,
-            gamma,
-            ..Plm::default()
-        }),
-        "epp" => Box::new(Epp::plp_plm(ensemble)),
-        "eppr" => Box::new(Epp::plp_plmr(ensemble)),
-        "eml" => Box::new(EppIterated::new(ensemble)),
-        "louvain" => Box::new(Louvain::new()),
-        "pam" => Box::new(Pam::new()),
-        "cel" => Box::new(Pam::cel()),
-        "cnm" => Box::new(Cnm::new()),
-        "rg" => Box::new(Rg::new()),
-        "cggc" => Box::new(Cggc::new(ensemble)),
-        "cggci" => Box::new(Cggc::iterated(ensemble)),
-        other => return Err(format!("unknown algorithm `{other}`").into()),
-    };
-    algo.set_seed(seed);
-    Ok(algo)
+    let mut spec = DetectorSpec::new(args.require("algo")?)?;
+    if args.get("gamma").is_some() {
+        spec = spec.with_gamma(args.get_or("gamma", 1.0)?);
+    }
+    if args.get("ensemble").is_some() {
+        spec = spec.with_ensemble(args.get_or("ensemble", 4)?);
+    }
+    if args.get("randomized").is_some() {
+        spec = spec.with_randomized(args.switch("randomized"));
+    }
+    spec = spec.with_seed(args.get_or("seed", 1)?);
+    Ok(spec.build()?)
 }
 
 /// `parcom generate`
@@ -307,6 +278,32 @@ pub fn compare(args: &Args) -> CmdResult {
         compare::adjusted_rand_index(&a, &b)
     );
     println!("NMI:            {:.4}", compare::nmi(&a, &b));
+    Ok(())
+}
+
+/// `parcom serve` — run the resident clustering daemon (parcom-serve).
+///
+/// Listens on `--socket PATH` (Unix domain) and/or `--listen ADDR` (TCP),
+/// holding loaded graphs in memory across requests; `--max-nodes` /
+/// `--max-edges` bound what `PUT /graphs/{name}` will admit. Runs until
+/// killed.
+pub fn serve(args: &Args) -> CmdResult {
+    let max_nodes: usize = args.get_or("max-nodes", 0)?;
+    let max_edges: usize = args.get_or("max-edges", 0)?;
+    let config = parcom_serve::ServeConfig {
+        socket: args.get("socket").map(std::path::PathBuf::from),
+        addr: args.get("listen").map(String::from),
+        max_nodes: if max_nodes > 0 { max_nodes } else { usize::MAX },
+        max_edges: if max_edges > 0 { max_edges } else { usize::MAX },
+    };
+    let server = parcom_serve::Server::bind(config)?;
+    match (args.get("socket"), args.get("listen")) {
+        (Some(path), Some(addr)) => eprintln!("parcom-serve listening on {path} and {addr}"),
+        (Some(path), None) => eprintln!("parcom-serve listening on {path}"),
+        (None, Some(addr)) => eprintln!("parcom-serve listening on {addr}"),
+        (None, None) => {}
+    }
+    server.run()?;
     Ok(())
 }
 

@@ -34,6 +34,7 @@ fn main() {
         "stats" => commands::stats(&parsed),
         "compare" => commands::compare(&parsed),
         "cg" => commands::community_graph(&parsed),
+        "serve" => commands::serve(&parsed),
         other => {
             eprintln!("error: unknown command `{other}`");
             print_usage();
@@ -47,18 +48,22 @@ fn main() {
 }
 
 fn print_usage() {
+    // the algorithm list comes from the DetectorSpec registry, so the help
+    // text can never drift from what `--algo` actually accepts
     eprintln!(
         "parcom — parallel community detection\n\
          \n\
          commands:\n\
          \x20 generate --model <lfr|rmat|ba|ws|er|grid|planted|cliques> --out FILE [model flags] [--truth FILE]\n\
-         \x20 detect   --input FILE --algo <plp|plm|plmr|epp|eppr|eml|louvain|pam|cel|cnm|rg|cggc|cggci>\n\
+         \x20 detect   --input FILE --algo <{algos}>\n\
          \x20          [--out FILE] [--threads N] [--gamma X] [--ensemble B] [--seed S] [--report json]\n\
          \x20          [--timeout SECS] [--max-sweeps N] [--max-nodes N] [--max-edges M]\n\
          \x20 stats    --input FILE\n\
          \x20 compare  --a PARTITION --b PARTITION\n\
          \x20 cg       --input FILE --partition FILE --out FILE.dot\n\
+         \x20 serve    [--socket PATH] [--listen ADDR] [--max-nodes N] [--max-edges M]\n\
          \n\
-         graph files: .metis/.graph (METIS) or anything else (edge list)."
+         graph files: .metis/.graph (METIS) or anything else (edge list).",
+        algos = parcom_core::spec::algorithm_list(),
     );
 }

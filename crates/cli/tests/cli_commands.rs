@@ -131,20 +131,49 @@ fn every_algorithm_flag_resolves() {
         graph.to_str().unwrap(),
     ]))
     .unwrap();
-    for algo in [
-        "plp", "plm", "plmr", "epp", "eppr", "eml", "louvain", "pam", "cel", "cnm", "rg", "cggc",
-        "cggci",
-    ] {
-        commands::detect(&args(&[
-            "detect",
-            "--input",
-            graph.to_str().unwrap(),
-            "--algo",
-            algo,
-            "--ensemble",
-            "2",
-        ]))
-        .unwrap_or_else(|e| panic!("algo {algo} failed: {e}"));
+    // drive the sweep off the registry so new algorithms are covered
+    // automatically, passing each algorithm exactly the knobs its spec
+    // accepts (inapplicable knobs are a validation error now)
+    for info in parcom_core::spec::REGISTRY {
+        let mut argv = vec![
+            "detect".to_string(),
+            "--input".into(),
+            graph.to_str().unwrap().into(),
+            "--algo".into(),
+            info.name.into(),
+        ];
+        if info.accepts(parcom_core::spec::Knob::Ensemble) {
+            argv.extend(["--ensemble".to_string(), "2".into()]);
+        }
+        if info.accepts(parcom_core::spec::Knob::Gamma) {
+            argv.extend(["--gamma".to_string(), "1.0".into()]);
+        }
+        let argv: Vec<&str> = argv.iter().map(String::as_str).collect();
+        commands::detect(&args(&argv)).unwrap_or_else(|e| panic!("algo {} failed: {e}", info.name));
+    }
+    // an inapplicable knob is rejected with a message naming the accepted ones
+    let err = commands::detect(&args(&[
+        "detect",
+        "--input",
+        graph.to_str().unwrap(),
+        "--algo",
+        "plp",
+        "--ensemble",
+        "2",
+    ]))
+    .unwrap_err();
+    assert!(err.to_string().contains("accepts no knob"), "{err}");
+    // an unknown algorithm enumerates the registry
+    let err = commands::detect(&args(&[
+        "detect",
+        "--input",
+        graph.to_str().unwrap(),
+        "--algo",
+        "florp",
+    ]))
+    .unwrap_err();
+    for info in parcom_core::spec::REGISTRY {
+        assert!(err.to_string().contains(info.name), "{err}");
     }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -39,6 +39,7 @@ pub mod plm;
 pub mod plp;
 pub mod quality;
 pub mod rg;
+pub mod spec;
 
 pub use algorithm::{CommunityDetector, GuardedResult};
 pub use cggc::Cggc;
@@ -51,6 +52,7 @@ pub use pam::Pam;
 pub use plm::{move_phase, move_phase_with, Plm, PlmStats};
 pub use plp::{Plp, PlpStats, SeedPerturbation};
 pub use rg::Rg;
+pub use spec::{DetectorSpec, SpecError};
 
 // The observability layer the detectors report through, re-exported so
 // downstream users of `detect_with_report` need no direct obs dependency.
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::algorithm::{CommunityDetector, GuardedResult};
     pub use crate::compare::{adjusted_rand_index, jaccard_index, nmi};
     pub use crate::quality::{coverage, modularity, modularity_gamma};
+    pub use crate::spec::DetectorSpec;
     pub use crate::{Cggc, Cnm, Epp, Louvain, Pam, Plm, Plp, Rg};
     pub use parcom_guard::{Budget, CancelToken, Termination};
     pub use parcom_obs::{Recorder, RunReport};

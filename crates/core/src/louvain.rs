@@ -44,15 +44,6 @@ impl Louvain {
         Self::default()
     }
 
-    /// Louvain with a specific shuffle seed.
-    #[deprecated(note = "use `Louvain::new()` + `CommunityDetector::set_seed`")]
-    pub fn with_seed(seed: u64) -> Self {
-        Self {
-            seed,
-            ..Self::default()
-        }
-    }
-
     /// One sequential move phase; returns the number of moves and how the
     /// phase ended. `scratch` is the caller-owned weight tally, reused
     /// across sweeps and levels. The budget is tested once per sweep; on

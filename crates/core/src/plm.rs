@@ -50,10 +50,6 @@ pub struct Plm {
     pub max_move_iterations: usize,
     /// Cap on the coarsening hierarchy depth.
     pub max_levels: usize,
-    /// Statistics of the most recent run.
-    #[deprecated(note = "use `detect_with_report` — each `level-*` phase carries \
-                `nodes` and `moves` counters")]
-    pub last_stats: PlmStats,
 }
 
 /// Per-run statistics of PLM.
@@ -66,14 +62,12 @@ pub struct PlmStats {
 }
 
 impl Default for Plm {
-    #[allow(deprecated)] // initializes the deprecated stats field
     fn default() -> Self {
         Self {
             gamma: 1.0,
             refine: false,
             max_move_iterations: 32,
             max_levels: 64,
-            last_stats: PlmStats::default(),
         }
     }
 }
@@ -201,10 +195,7 @@ impl Plm {
         let scratch = ScratchPool::new();
         let (mut zeta, termination, cut_phase) =
             self.run_recursive(g, 0, &mut stats, rec, &scratch, budget);
-        #[allow(deprecated)]
-        {
-            self.last_stats = stats;
-        }
+        rec.counter("levels", stats.level_sizes.len() as u64);
         zeta.compact();
         // Postcondition for PLM and PLMR alike: a dense assignment
         // covering exactly the input nodes (coarsening inside
@@ -247,8 +238,6 @@ impl CommunityDetector for Plm {
         let zeta = self.run(g, &rec);
         rec.counter("communities", zeta.number_of_subsets() as u64);
         if rec.is_enabled() {
-            #[allow(deprecated)]
-            rec.counter("levels", self.last_stats.level_sizes.len() as u64);
             rec.metric(
                 "modularity",
                 crate::quality::modularity_gamma(g, &zeta, self.gamma),
@@ -267,8 +256,6 @@ impl CommunityDetector for Plm {
         let (zeta, termination, cut_phase) = self.run_guarded(g, &rec, budget);
         rec.counter("communities", zeta.number_of_subsets() as u64);
         if rec.is_enabled() {
-            #[allow(deprecated)]
-            rec.counter("levels", self.last_stats.level_sizes.len() as u64);
             rec.metric(
                 "modularity",
                 crate::quality::modularity_gamma(g, &zeta, self.gamma),
@@ -516,14 +503,6 @@ mod tests {
             assert!(w[1] < w[0]);
         }
         assert_eq!(report.counter("levels"), Some(sizes.len() as u64));
-        #[allow(deprecated)]
-        let stats_sizes: Vec<u64> = plm
-            .last_stats
-            .level_sizes
-            .iter()
-            .map(|&s| s as u64)
-            .collect();
-        assert_eq!(sizes, stats_sizes);
     }
 
     #[test]

@@ -67,10 +67,6 @@ pub struct Plp {
     pub seed_perturbation: SeedPerturbation,
     /// Seed for the optional shuffle and tie-breaking.
     pub seed: u64,
-    /// Statistics of the most recent run (for Fig. 1).
-    #[deprecated(note = "use `detect_with_report` — the `label-propagation` phase \
-                carries the `active`/`updated` series")]
-    pub last_stats: PlpStats,
 }
 
 /// Per-run statistics: the series plotted in Fig. 1.
@@ -90,7 +86,6 @@ impl PlpStats {
 }
 
 impl Default for Plp {
-    #[allow(deprecated)] // initializes the deprecated stats field
     fn default() -> Self {
         Self {
             theta_fraction: 1e-5,
@@ -98,7 +93,6 @@ impl Default for Plp {
             explicit_randomization: false,
             seed_perturbation: SeedPerturbation::None,
             seed: 1,
-            last_stats: PlpStats::default(),
         }
     }
 }
@@ -116,15 +110,6 @@ impl Plp {
     /// PLP with default parameters.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// PLP with a specific seed (ensemble members use distinct seeds).
-    #[deprecated(note = "use `Plp::new()` + `CommunityDetector::set_seed`")]
-    pub fn with_seed(seed: u64) -> Self {
-        Self {
-            seed,
-            ..Self::default()
-        }
     }
 
     /// Runs label propagation, optionally seeded with an initial assignment
@@ -295,10 +280,6 @@ impl Plp {
         );
         span.close();
 
-        #[allow(deprecated)]
-        {
-            self.last_stats = stats;
-        }
         // Postcondition on the racy label array itself: labels are node
         // ids (or initial-assignment ids), so every concurrently-written
         // value must stay below the id upper bound.
@@ -416,14 +397,9 @@ mod tests {
         let u = prop.series("updated").unwrap();
         assert!(u.len() >= 2);
         assert!(u[u.len() - 1] < u[0], "updates should decline: {u:?}");
-        // the report's series mirror the deprecated stats field
-        #[allow(deprecated)]
-        let stats = &plp.last_stats;
-        assert_eq!(stats.updated_per_iteration.len(), u.len());
-        assert_eq!(
-            prop.series("active").unwrap().len(),
-            stats.active_per_iteration.len()
-        );
+        // both Fig. 1 series cover every iteration
+        assert_eq!(prop.series("active").unwrap().len(), u.len());
+        assert_eq!(prop.counter("iterations"), Some(u.len() as u64));
     }
 
     #[test]
@@ -529,15 +505,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the deprecated stats field must keep working
-    fn stats_are_reset_between_runs() {
+    fn series_are_reset_between_runs() {
         let (g, _) = ring_of_cliques(4, 5);
         let mut plp = Plp::new();
-        plp.detect(&g);
-        let first = plp.last_stats.iterations();
-        assert!(first > 0);
-        plp.detect(&g);
-        assert_eq!(plp.last_stats.iterations(), first);
+        let iterations = |report: &parcom_obs::RunReport| {
+            report
+                .phase("label-propagation")
+                .and_then(|p| p.counter("iterations"))
+                .unwrap()
+        };
+        let (_, first) = plp.detect_with_report(&g);
+        assert!(iterations(&first) > 0);
+        // a second run starts a fresh report, not an accumulated one
+        let (_, second) = plp.detect_with_report(&g);
+        assert_eq!(iterations(&second), iterations(&first));
     }
 
     #[test]
@@ -564,15 +545,11 @@ mod tests {
     }
 
     #[test]
-    fn set_seed_matches_deprecated_constructor() {
+    fn set_seed_replaces_the_seed_field() {
         let (g, _) = lfr(LfrParams::benchmark(600, 0.4), 11);
-        #[allow(deprecated)]
-        let a = Plp::with_seed(7).detect(&g);
         let mut plp = Plp::new();
         plp.set_seed(7);
-        let b = plp.detect(&g);
-        // same configuration: both runs see identical RNG streams
         assert_eq!(plp.seed, 7);
-        let _ = (a, b); // racy parallel runs need not agree exactly
+        let _ = plp.detect(&g); // and the reseeded run still converges
     }
 }

@@ -49,15 +49,6 @@ impl Rg {
         Self::default()
     }
 
-    /// RG with a specific seed (ensemble members use distinct seeds).
-    #[deprecated(note = "use `Rg::new()` + `CommunityDetector::set_seed`")]
-    pub fn with_seed(seed: u64) -> Self {
-        Self {
-            seed,
-            ..Self::default()
-        }
-    }
-
     /// The full agglomeration under a recorder and a budget, shared by
     /// every entry point. The budget is checked once per
     /// [`MERGE_CHECK_INTERVAL`] merges; on expiry the merge loop stops and

@@ -35,10 +35,47 @@ pub mod partition_io;
 pub use dot::write_community_graph_dot;
 pub use edgelist::{read_edge_list, read_edge_list_recorded, write_edge_list};
 pub use gml::{write_gml, write_gml_to};
-pub use metis::{read_metis, read_metis_budgeted, read_metis_recorded, write_metis};
+pub use metis::{
+    read_metis, read_metis_budgeted, read_metis_bytes_budgeted, read_metis_recorded, write_metis,
+    write_metis_to,
+};
 pub use partition_io::{read_partition, write_partition};
 
+use parcom_graph::Graph;
+use parcom_guard::Budget;
+use parcom_obs::Recorder;
 use std::path::{Path, PathBuf};
+
+/// Reads a graph from `path`, dispatching on the file extension —
+/// `.metis`/`.graph` are METIS, everything else is treated as an edge
+/// list — recording `ingest/parse`/`ingest/build` spans on `recorder`
+/// and enforcing the budget's input limits: METIS headers exceeding them
+/// are rejected *before* allocation, edge lists (which have no header to
+/// admit against) after their parse. The single ingest entry point shared
+/// by the CLI and `parcom-serve`, so both front ends admit and instrument
+/// identically.
+pub fn load_graph_auto(
+    path: impl AsRef<Path>,
+    recorder: &Recorder,
+    budget: &Budget,
+) -> Result<Graph, IoError> {
+    let path = path.as_ref();
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    if matches!(ext, "metis" | "graph") {
+        read_metis_budgeted(path, recorder, budget)
+    } else {
+        let g = read_edge_list_recorded(path, recorder)?.graph;
+        if budget.admits(g.node_count(), g.edge_count()).is_err() {
+            return Err(IoError::parse(format!(
+                "graph has {} nodes / {} edges, exceeding the ingest limit",
+                g.node_count(),
+                g.edge_count()
+            ))
+            .with_path(path));
+        }
+        Ok(g)
+    }
+}
 
 /// The error of every reader and writer in this crate: one uniform shape
 /// carrying *what* went wrong ([`kind`](Self::kind)) and *where* — the

@@ -1,0 +1,319 @@
+//! Route handlers: the JSON API over the resident [`GraphStore`].
+//!
+//! | method | path                  | action                              |
+//! |--------|-----------------------|-------------------------------------|
+//! | GET    | `/healthz`            | liveness + resident-graph count     |
+//! | GET    | `/graphs`             | list resident graphs                |
+//! | PUT    | `/graphs/{name}`      | load a graph (by path or inline)    |
+//! | DELETE | `/graphs/{name}`      | evict a graph                       |
+//! | POST   | `/graphs/{name}/edges`| buffer edge inserts/removes         |
+//! | POST   | `/detect`             | run a [`DetectorSpec`] under budget |
+//!
+//! Every handler returns `(status, body)`; the connection layer decides the
+//! framing (plain for the small responses, chunked for `/detect`).
+
+use crate::http::{error_body, Request};
+use crate::store::{EdgeOp, GraphStore};
+use crate::ServeConfig;
+use parcom_core::DetectorSpec;
+use parcom_graph::Node;
+use parcom_guard::{Budget, CancelToken, Termination};
+use parcom_io::{load_graph_auto, read_metis_bytes_budgeted};
+use parcom_obs::json::{self, Value};
+use parcom_obs::Recorder;
+use std::time::Duration;
+
+/// Schema tag of every non-detect response body.
+pub const SCHEMA: &str = "parcom-serve/v1";
+
+/// Schema tag of the `/detect` response body (which embeds a full
+/// `parcom-run-report/v2` under `"report"`).
+pub const DETECT_SCHEMA: &str = "parcom-serve-detect/v1";
+
+/// A handler's verdict: HTTP status plus JSON body.
+pub type Reply = (u16, String);
+
+fn err(status: u16, message: impl AsRef<str>) -> Reply {
+    (status, error_body(message.as_ref()))
+}
+
+/// Graph names are path segments and file-name material; keep them tame.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Dispatches every route except `/detect` (which the connection layer
+/// routes separately so it can wire up the disconnect watcher first).
+pub fn handle(store: &GraphStore, cfg: &ServeConfig, req: &Request) -> Reply {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(store),
+        ("GET", ["graphs"]) => list_graphs(store),
+        ("PUT", ["graphs", name]) => load_graph(store, cfg, name, &req.body),
+        ("DELETE", ["graphs", name]) => evict_graph(store, name),
+        ("POST", ["graphs", name, "edges"]) => edge_batch(store, name, &req.body),
+        ("POST", ["detect"]) => err(400, "POST /detect must go through the streaming path"),
+        (_, ["healthz" | "graphs" | "detect", ..]) => err(405, "method not allowed"),
+        _ => err(404, format!("no route for {} {}", req.method, req.path)),
+    }
+}
+
+fn healthz(store: &GraphStore) -> Reply {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    json::write_str(&mut out, SCHEMA);
+    out.push_str(",\"status\":\"ok\",\"graphs\":");
+    out.push_str(&store.len().to_string());
+    out.push('}');
+    (200, out)
+}
+
+fn list_graphs(store: &GraphStore) -> Reply {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    json::write_str(&mut out, SCHEMA);
+    out.push_str(",\"graphs\":[");
+    for (i, (name, stats)) in store.list().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_str(&mut out, &name);
+        out.push_str(&format!(
+            ",\"nodes\":{},\"edges\":{},\"pending\":{},\"generation\":{},\"rebuilds\":{}}}",
+            stats.nodes, stats.edges, stats.pending, stats.generation, stats.rebuilds
+        ));
+    }
+    out.push_str("]}");
+    (200, out)
+}
+
+fn parse_body(body: &[u8]) -> Result<Value, Reply> {
+    let text = std::str::from_utf8(body).map_err(|_| err(400, "body is not UTF-8"))?;
+    json::parse(text).map_err(|e| err(400, format!("bad JSON body: {e}")))
+}
+
+fn load_graph(store: &GraphStore, cfg: &ServeConfig, name: &str, body: &[u8]) -> Reply {
+    if !valid_name(name) {
+        return err(400, "graph names are 1-64 chars of [A-Za-z0-9._-]");
+    }
+    let v = match parse_body(body) {
+        Ok(v) => v,
+        Err(reply) => return reply,
+    };
+    // Header admission happens inside the budgeted readers, before the
+    // graph is allocated — an oversized corpus is refused at a few bytes of
+    // cost, not after filling memory.
+    let budget = cfg.ingest_budget();
+    let loaded = match (v.get("path"), v.get("content")) {
+        (Some(path), None) => match path.as_str() {
+            Some(path) => load_graph_auto(path, &Recorder::disabled(), &budget),
+            None => return err(400, "\"path\" must be a string"),
+        },
+        (None, Some(content)) => match content.as_str() {
+            Some(text) => read_metis_bytes_budgeted(text.as_bytes(), &budget),
+            None => return err(400, "\"content\" must be a METIS string"),
+        },
+        _ => return err(400, "body must have exactly one of \"path\" or \"content\""),
+    };
+    let graph = match loaded {
+        Ok(g) => g,
+        Err(e) => {
+            let message = e.to_string();
+            let status = if message.contains("exceed") { 413 } else { 422 };
+            return err(status, format!("load failed: {message}"));
+        }
+    };
+    let (nodes, edges) = (graph.node_count(), graph.edge_count());
+    let replaced = store.insert(name, graph);
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    json::write_str(&mut out, SCHEMA);
+    out.push_str(",\"name\":");
+    json::write_str(&mut out, name);
+    out.push_str(&format!(
+        ",\"nodes\":{nodes},\"edges\":{edges},\"replaced\":{replaced}}}"
+    ));
+    (if replaced { 200 } else { 201 }, out)
+}
+
+fn evict_graph(store: &GraphStore, name: &str) -> Reply {
+    if store.remove(name) {
+        (200, format!("{{\"schema\":\"{SCHEMA}\",\"evicted\":true}}"))
+    } else {
+        err(404, format!("no graph named `{name}`"))
+    }
+}
+
+fn node_id(v: &Value) -> Result<Node, Reply> {
+    v.as_u64()
+        .filter(|&id| id <= u32::MAX as u64)
+        .map(|id| id as Node)
+        .ok_or_else(|| err(400, "node ids must be integers in u32 range"))
+}
+
+/// Buffers a batch of edge mutations; within one request the `insert` array
+/// applies before the `remove` array. The rebuild is deferred until the
+/// buffer reaches [`crate::store::REBUILD_BATCH`] operations, the client
+/// passes `"rebuild":true`, or the next detection snapshot flushes it.
+fn edge_batch(store: &GraphStore, name: &str, body: &[u8]) -> Reply {
+    let Some(entry) = store.get(name) else {
+        return err(404, format!("no graph named `{name}`"));
+    };
+    let v = match parse_body(body) {
+        Ok(v) => v,
+        Err(reply) => return reply,
+    };
+    let mut ops: Vec<EdgeOp> = Vec::new();
+    if let Some(inserts) = v.get("insert") {
+        let Some(rows) = inserts.as_array() else {
+            return err(400, "\"insert\" must be an array of [u, v] or [u, v, w]");
+        };
+        for row in rows {
+            let Some(cells) = row.as_array() else {
+                return err(400, "\"insert\" rows must be arrays");
+            };
+            let (u, v, w) = match cells {
+                [u, v] => (u, v, 1.0),
+                [u, v, w] => match w.as_f64().filter(|w| w.is_finite() && *w > 0.0) {
+                    Some(w) => (u, v, w),
+                    None => return err(400, "edge weights must be finite and positive"),
+                },
+                _ => return err(400, "\"insert\" rows must be [u, v] or [u, v, w]"),
+            };
+            match (node_id(u), node_id(v)) {
+                (Ok(u), Ok(v)) => ops.push(EdgeOp::Insert(u, v, w)),
+                (Err(reply), _) | (_, Err(reply)) => return reply,
+            }
+        }
+    }
+    if let Some(removes) = v.get("remove") {
+        let Some(rows) = removes.as_array() else {
+            return err(400, "\"remove\" must be an array of [u, v]");
+        };
+        for row in rows {
+            let Some([u, v]) = row.as_array() else {
+                return err(400, "\"remove\" rows must be [u, v]");
+            };
+            match (node_id(u), node_id(v)) {
+                (Ok(u), Ok(v)) => ops.push(EdgeOp::Remove(u, v)),
+                (Err(reply), _) | (_, Err(reply)) => return reply,
+            }
+        }
+    }
+    if ops.is_empty() {
+        return err(400, "batch has no operations");
+    }
+    let force = v.get("rebuild").and_then(Value::as_bool).unwrap_or(false);
+    let mut entry = entry.lock().unwrap();
+    let pending = entry.buffer_ops(ops);
+    let rebuilt = force || entry.rebuild_due();
+    if rebuilt {
+        entry.rebuild();
+    }
+    let stats = entry.stats();
+    drop(entry);
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    json::write_str(&mut out, SCHEMA);
+    out.push_str(&format!(
+        ",\"accepted\":{pending},\"rebuilt\":{rebuilt},\"pending\":{},\"generation\":{},\"nodes\":{},\"edges\":{}}}",
+        stats.pending, stats.generation, stats.nodes, stats.edges
+    ));
+    (200, out)
+}
+
+/// Runs a detection request. `token` is already wired to the connection's
+/// disconnect watcher, so a client hang-up cancels the run; the body's
+/// `"budget"` adds a deadline and/or sweep cap on top.
+///
+/// Body: `{"graph": name, "spec": <string or object>, "budget":
+/// {"timeout_ms", "max_sweeps"}, "include_partition": bool}`.
+pub fn detect(store: &GraphStore, body: &[u8], token: CancelToken) -> Reply {
+    let v = match parse_body(body) {
+        Ok(v) => v,
+        Err(reply) => return reply,
+    };
+    let Some(name) = v.get("graph").and_then(Value::as_str) else {
+        return err(400, "body must name a resident \"graph\"");
+    };
+    let Some(spec_value) = v.get("spec") else {
+        return err(400, "body must carry a \"spec\"");
+    };
+    let spec = match DetectorSpec::from_json(spec_value) {
+        Ok(spec) => spec,
+        Err(e) => return err(422, format!("bad spec: {e}")),
+    };
+    let mut detector = match spec.build() {
+        Ok(d) => d,
+        Err(e) => return err(422, format!("bad spec: {e}")),
+    };
+
+    let mut budget = Budget::unlimited().with_token(token);
+    if let Some(b) = v.get("budget") {
+        if b.entries().is_none() {
+            return err(400, "\"budget\" must be an object");
+        }
+        match b.get("timeout_ms").map(|t| t.as_u64()) {
+            Some(Some(ms)) => budget = budget.with_deadline(Duration::from_millis(ms)),
+            Some(None) => return err(400, "\"timeout_ms\" must be a non-negative integer"),
+            None => {}
+        }
+        match b.get("max_sweeps").map(|t| t.as_u64()) {
+            Some(Some(cap)) => budget = budget.with_max_sweeps(cap),
+            Some(None) => return err(400, "\"max_sweeps\" must be a non-negative integer"),
+            None => {}
+        }
+    }
+    let include_partition = v
+        .get("include_partition")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    let Some((graph, generation)) = store.snapshot(name) else {
+        return err(404, format!("no graph named `{name}`"));
+    };
+    let result = detector.detect_guarded(&graph, &budget);
+
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":");
+    json::write_str(&mut out, DETECT_SCHEMA);
+    out.push_str(",\"graph\":");
+    json::write_str(&mut out, name);
+    out.push_str(",\"spec\":");
+    json::write_str(&mut out, &spec.to_string());
+    out.push_str(&format!(
+        ",\"generation\":{generation},\"nodes\":{},\"edges\":{},\"termination\":",
+        graph.node_count(),
+        graph.edge_count()
+    ));
+    json::write_str(&mut out, result.termination.as_str());
+    out.push_str(&format!(
+        ",\"communities\":{}",
+        result.partition.number_of_subsets()
+    ));
+    // splice the already-serialized run report in as raw JSON
+    out.push_str(",\"report\":");
+    out.push_str(&result.report.to_json());
+    if include_partition {
+        out.push_str(",\"partition\":[");
+        for (i, &c) in result.partition.as_slice().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push(']');
+    }
+    out.push('}');
+    let status = if result.termination == Termination::InputRejected {
+        413
+    } else {
+        200
+    };
+    (status, out)
+}

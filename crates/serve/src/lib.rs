@@ -1,0 +1,248 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # parcom-serve — the resident clustering daemon
+//!
+//! Loading a corpus graph dominates end-to-end latency for every CLI run:
+//! parsing PGPgiantcompo takes longer than clustering it. This crate keeps
+//! graphs *resident* — parsed once into CSR, held in memory under a name —
+//! and answers detection requests against them over a hand-rolled HTTP/1.1
+//! API (TCP and/or Unix domain socket; no external dependencies, the build
+//! environment is offline).
+//!
+//! The request surface (DESIGN.md §13):
+//!
+//! * `PUT /graphs/{name}` — budgeted ingest (header admission *before*
+//!   allocation) from a server-side path or inline METIS content.
+//! * `POST /detect` — any registered algorithm via
+//!   [`DetectorSpec`](parcom_core::DetectorSpec), run under a per-request
+//!   [`Budget`]: deadline, sweep cap, and cancellation the moment the
+//!   client disconnects (a watcher thread peeks the socket while the
+//!   detection runs). The response streams back chunked JSON embedding the
+//!   full `parcom-run-report/v2`.
+//! * `POST /graphs/{name}/edges` — buffered edge inserts/removes with
+//!   periodic CSR rebuild ([`store::REBUILD_BATCH`]); detection snapshots
+//!   always flush first, so results reflect every acknowledged edit.
+//!
+//! Threading model: one acceptor per listener, one thread per connection,
+//! plus one short-lived watcher thread per in-flight detection. The store
+//! itself is two-level locked (map lock for lookup, per-entry mutex for
+//! mutation) so a rebuild of one graph never blocks requests to another.
+
+pub mod conn;
+pub mod http;
+pub mod store;
+
+pub mod handlers;
+
+use conn::{Conn, DisconnectWatch};
+use http::{error_body, respond_chunked_json, respond_json, ReadError, RequestReader};
+use parcom_guard::{Budget, CancelToken};
+use std::io;
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use store::GraphStore;
+
+/// Idle keep-alive timeout between requests on one connection.
+const KEEP_ALIVE: Duration = Duration::from_secs(60);
+
+/// Daemon configuration: where to listen and how much graph to admit.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix-domain socket path to listen on (removed and re-bound at
+    /// startup if it exists).
+    pub socket: Option<PathBuf>,
+    /// TCP address to listen on, e.g. `127.0.0.1:7071`.
+    pub addr: Option<String>,
+    /// Ingest admission cap on node count (`usize::MAX` = unlimited).
+    pub max_nodes: usize,
+    /// Ingest admission cap on edge count (`usize::MAX` = unlimited).
+    pub max_edges: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            socket: None,
+            addr: None,
+            max_nodes: usize::MAX,
+            max_edges: usize::MAX,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The ingest admission budget: input limits only, checked against the
+    /// METIS header before any allocation happens.
+    pub fn ingest_budget(&self) -> Budget {
+        if self.max_nodes == usize::MAX && self.max_edges == usize::MAX {
+            Budget::unlimited()
+        } else {
+            Budget::unlimited().with_input_limits(self.max_nodes, self.max_edges)
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    config: ServeConfig,
+    store: Arc<GraphStore>,
+    listeners: Vec<Listener>,
+}
+
+impl Server {
+    /// Binds every listener named by `config`. At least one of `socket` /
+    /// `addr` must be set. A stale socket file from a previous run is
+    /// removed before binding.
+    pub fn bind(config: ServeConfig) -> io::Result<Self> {
+        let mut listeners = Vec::new();
+        if let Some(addr) = &config.addr {
+            listeners.push(Listener::Tcp(TcpListener::bind(addr.as_str())?));
+        }
+        #[cfg(unix)]
+        if let Some(path) = &config.socket {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            listeners.push(Listener::Unix(UnixListener::bind(path)?));
+        }
+        #[cfg(not(unix))]
+        if config.socket.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ));
+        }
+        if listeners.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serve needs a socket path or a TCP address to listen on",
+            ));
+        }
+        Ok(Self {
+            config,
+            store: Arc::new(GraphStore::new()),
+            listeners,
+        })
+    }
+
+    /// The shared store — exposed so embedders (tests, benches) can
+    /// pre-load graphs without going through the API.
+    pub fn store(&self) -> Arc<GraphStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The first bound TCP address, when listening on TCP — lets callers
+    /// bind port 0 and discover the ephemeral port.
+    pub fn local_tcp_addr(&self) -> Option<std::net::SocketAddr> {
+        self.listeners.iter().find_map(|l| match l {
+            Listener::Tcp(t) => t.local_addr().ok(),
+            #[cfg(unix)]
+            Listener::Unix(_) => None,
+        })
+    }
+
+    /// Serves forever: accepts on every bound listener, one thread per
+    /// connection. Only returns if *all* accept loops fail.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            config,
+            store,
+            listeners,
+        } = self;
+        let mut handles = Vec::new();
+        for listener in listeners {
+            let store = Arc::clone(&store);
+            let config = config.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("parcom-serve-accept".into())
+                    .spawn(move || match listener {
+                        // request/response turnarounds are small writes; Nagle
+                        // + delayed-ACK stalls would add tens of ms per request
+                        Listener::Tcp(l) => accept_loop(
+                            l.incoming().map(|s| {
+                                s.inspect(|s| {
+                                    let _ = s.set_nodelay(true);
+                                })
+                            }),
+                            store,
+                            config,
+                        ),
+                        #[cfg(unix)]
+                        Listener::Unix(l) => accept_loop(l.incoming(), store, config),
+                    })?,
+            );
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop<S, I>(incoming: I, store: Arc<GraphStore>, config: ServeConfig)
+where
+    S: Conn + 'static,
+    I: Iterator<Item = io::Result<S>>,
+{
+    for stream in incoming {
+        let Ok(stream) = stream else { continue };
+        let store = Arc::clone(&store);
+        let config = config.clone();
+        let _ = std::thread::Builder::new()
+            .name("parcom-serve-conn".into())
+            .spawn(move || {
+                let mut boxed: Box<dyn Conn> = Box::new(stream);
+                serve_connection(&mut boxed, &store, &config);
+            });
+    }
+}
+
+/// Runs the keep-alive request loop of one connection until the client
+/// closes, asks to close, or errors.
+fn serve_connection(conn: &mut Box<dyn Conn>, store: &GraphStore, config: &ServeConfig) {
+    let mut reader = RequestReader::new();
+    loop {
+        if conn.set_read_timeout_conn(Some(KEEP_ALIVE)).is_err() {
+            return;
+        }
+        let request = match reader.read_request(&mut **conn) {
+            Ok(request) => request,
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Bad(status, message)) => {
+                let _ = respond_json(&mut **conn, status, &error_body(&message), false);
+                return;
+            }
+        };
+        let close = request.wants_close();
+        let ok = if request.method == "POST" && request.path == "/detect" {
+            // Wire the cancel token to a disconnect watcher before the
+            // detection starts, so a client hang-up aborts the compute.
+            let token = CancelToken::new();
+            let watch = DisconnectWatch::spawn(&**conn, token.clone());
+            let (status, body) = handlers::detect(store, &request.body, token);
+            if let Ok(watch) = watch {
+                reader.push_back(&watch.finish());
+            }
+            respond_chunked_json(&mut **conn, status, &body).is_ok()
+        } else {
+            let (status, body) = handlers::handle(store, config, &request);
+            respond_json(&mut **conn, status, &body, !close).is_ok()
+        };
+        if !ok || close {
+            return;
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The resident graph registry: named graphs held in memory across
+//! requests, with buffered edge mutations and periodic CSR rebuilds.
+//!
+//! The CSR representation is immutable by design (that is what makes the
+//! detection kernels fast), so mutation is write-behind: edge inserts and
+//! deletes accumulate in an order-preserving buffer and are folded into a
+//! fresh CSR either when the buffer reaches [`REBUILD_BATCH`] operations,
+//! when a client forces it, or — always — before a detection snapshot, so
+//! every detection sees all acknowledged edits.
+
+use parcom_graph::{Graph, GraphBuilder, Node};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Pending-operation count that triggers an automatic rebuild at the end of
+/// an edge-batch request. Large enough to amortize the O(n + m) CSR
+/// rebuild over many small batches, small enough to keep the fold cheap.
+pub const REBUILD_BATCH: usize = 4096;
+
+/// One buffered mutation. Operations are kept in arrival order so that
+/// within a window, later operations on an edge override earlier ones
+/// (insert-then-delete deletes; delete-then-insert re-inserts).
+#[derive(Clone, Copy, Debug)]
+pub enum EdgeOp {
+    /// Insert the edge, or overwrite its weight if it already exists.
+    Insert(Node, Node, f64),
+    /// Remove the edge if present (a no-op otherwise).
+    Remove(Node, Node),
+}
+
+/// A named resident graph plus its mutation buffer.
+pub struct GraphEntry {
+    graph: Arc<Graph>,
+    pending: Vec<EdgeOp>,
+    /// Bumped on every rebuild; lets clients correlate detection results
+    /// with the graph version they ran against.
+    generation: u64,
+    rebuilds: u64,
+}
+
+/// A point-in-time summary of one entry, for listings.
+pub struct EntryStats {
+    /// Node count of the current CSR.
+    pub nodes: usize,
+    /// Edge count of the current CSR.
+    pub edges: usize,
+    /// Buffered operations not yet folded in.
+    pub pending: usize,
+    /// Current generation (rebuild counter of the resident CSR).
+    pub generation: u64,
+    /// Total rebuilds since load.
+    pub rebuilds: u64,
+}
+
+impl GraphEntry {
+    fn new(graph: Graph) -> Self {
+        Self {
+            graph: Arc::new(graph),
+            pending: Vec::new(),
+            generation: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Appends a batch of operations, canonicalizing endpoint order so the
+    /// fold's keys match the CSR's `u <= v` edge orientation. Returns the
+    /// pending count after the append.
+    pub fn buffer_ops(&mut self, ops: impl IntoIterator<Item = EdgeOp>) -> usize {
+        for op in ops {
+            self.pending.push(match op {
+                EdgeOp::Insert(u, v, w) => EdgeOp::Insert(u.min(v), u.max(v), w),
+                EdgeOp::Remove(u, v) => EdgeOp::Remove(u.min(v), u.max(v)),
+            });
+        }
+        self.pending.len()
+    }
+
+    /// Whether the buffer has reached the automatic rebuild threshold.
+    pub fn rebuild_due(&self) -> bool {
+        self.pending.len() >= REBUILD_BATCH
+    }
+
+    /// Folds the pending buffer into a fresh CSR. The final state of each
+    /// touched edge is resolved in arrival order first, then applied in one
+    /// pass over the collected edge set; node ids beyond the current range
+    /// grow the graph. No-op when the buffer is empty.
+    pub fn rebuild(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // arrival-order resolution: last op per edge wins
+        let mut delta: HashMap<(Node, Node), Option<f64>> =
+            HashMap::with_capacity(self.pending.len());
+        let mut max_node: Node = 0;
+        for op in self.pending.drain(..) {
+            match op {
+                EdgeOp::Insert(u, v, w) => {
+                    max_node = max_node.max(v);
+                    delta.insert((u, v), Some(w));
+                }
+                EdgeOp::Remove(u, v) => {
+                    delta.insert((u, v), None);
+                }
+            }
+        }
+        let mut edges = self.graph.par_collect_edges();
+        // replace or drop existing edges; whatever remains in `delta` after
+        // this pass is a genuinely new edge
+        edges.retain_mut(|(u, v, w)| match delta.remove(&(*u, *v)) {
+            Some(Some(new_w)) => {
+                *w = new_w;
+                true
+            }
+            Some(None) => false,
+            None => true,
+        });
+        for ((u, v), value) in delta {
+            if let Some(w) = value {
+                edges.push((u, v, w));
+            }
+        }
+        let n = self.graph.node_count().max(max_node as usize + 1);
+        let mut builder = GraphBuilder::with_capacity(n, edges.len());
+        builder.extend_edges(edges);
+        self.graph = Arc::new(builder.build());
+        self.generation += 1;
+        self.rebuilds += 1;
+    }
+
+    /// The resident CSR (pending operations excluded), with its generation.
+    pub fn current(&self) -> (Arc<Graph>, u64) {
+        (Arc::clone(&self.graph), self.generation)
+    }
+
+    /// Listing summary.
+    pub fn stats(&self) -> EntryStats {
+        EntryStats {
+            nodes: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+            pending: self.pending.len(),
+            generation: self.generation,
+            rebuilds: self.rebuilds,
+        }
+    }
+}
+
+/// The store: graph name → entry. The outer map lock is held only for
+/// lookup/insert/remove; per-entry work (buffering, rebuilds) runs under the
+/// entry's own mutex, so a long rebuild of one graph never blocks requests
+/// against another.
+#[derive(Default)]
+pub struct GraphStore {
+    inner: RwLock<HashMap<String, Arc<Mutex<GraphEntry>>>>,
+}
+
+impl GraphStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a named graph. Returns whether a previous
+    /// graph of that name was replaced.
+    pub fn insert(&self, name: &str, graph: Graph) -> bool {
+        self.inner
+            .write()
+            .unwrap()
+            .insert(
+                name.to_string(),
+                Arc::new(Mutex::new(GraphEntry::new(graph))),
+            )
+            .is_some()
+    }
+
+    /// Evicts a named graph; `false` if it was not resident. In-flight
+    /// detections keep their `Arc<Graph>` snapshot alive until they finish.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.write().unwrap().remove(name).is_some()
+    }
+
+    /// The entry for `name`, if resident.
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<GraphEntry>>> {
+        self.inner.read().unwrap().get(name).cloned()
+    }
+
+    /// A consistent detection snapshot: flushes the entry's pending buffer
+    /// (so the detection sees all acknowledged edits) and returns the CSR
+    /// as a cheap `Arc` clone plus its generation. The entry lock is
+    /// released before detection starts — concurrent mutations build new
+    /// CSRs while old snapshots keep running.
+    pub fn snapshot(&self, name: &str) -> Option<(Arc<Graph>, u64)> {
+        let entry = self.get(name)?;
+        let mut entry = entry.lock().unwrap();
+        entry.rebuild();
+        Some(entry.current())
+    }
+
+    /// Sorted names with per-entry stats.
+    pub fn list(&self) -> Vec<(String, EntryStats)> {
+        let mut rows: Vec<(String, EntryStats)> = self
+            .inner
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.lock().unwrap().stats()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Number of resident graphs.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().len()
+    }
+
+    /// Whether no graphs are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcom_graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(Node, Node)> = (0..n as Node - 1).map(|u| (u, u + 1)).collect();
+        GraphBuilder::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn ops_apply_in_arrival_order() {
+        let store = GraphStore::new();
+        store.insert("p", path_graph(4));
+        let entry = store.get("p").unwrap();
+        {
+            let mut e = entry.lock().unwrap();
+            // insert-then-remove cancels; remove-then-insert survives
+            e.buffer_ops([
+                EdgeOp::Insert(0, 3, 1.0),
+                EdgeOp::Remove(3, 0),
+                EdgeOp::Remove(1, 2),
+                EdgeOp::Insert(2, 1, 5.0),
+            ]);
+            e.rebuild();
+        }
+        let (g, generation) = store.snapshot("p").unwrap();
+        assert_eq!(generation, 1);
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.edge_weight(1, 2), Some(5.0));
+    }
+
+    #[test]
+    fn inserts_grow_the_node_range() {
+        let store = GraphStore::new();
+        store.insert("p", path_graph(3));
+        let entry = store.get("p").unwrap();
+        entry
+            .lock()
+            .unwrap()
+            .buffer_ops([EdgeOp::Insert(2, 9, 2.0)]);
+        let (g, _) = store.snapshot("p").unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_weight(2, 9), Some(2.0));
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn snapshot_flushes_and_eviction_keeps_snapshots_alive() {
+        let store = GraphStore::new();
+        store.insert("p", path_graph(5));
+        let entry = store.get("p").unwrap();
+        entry.lock().unwrap().buffer_ops([EdgeOp::Remove(0, 1)]);
+        let (g, generation) = store.snapshot("p").unwrap();
+        assert_eq!(generation, 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(store.remove("p"));
+        assert!(!store.remove("p"));
+        // the snapshot outlives the eviction
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn weight_overwrite_replaces_instead_of_accumulating() {
+        let store = GraphStore::new();
+        store.insert("p", path_graph(3));
+        let entry = store.get("p").unwrap();
+        entry
+            .lock()
+            .unwrap()
+            .buffer_ops([EdgeOp::Insert(0, 1, 7.5)]);
+        let (g, _) = store.snapshot("p").unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(7.5));
+        assert_eq!(g.edge_count(), 2);
+    }
+}

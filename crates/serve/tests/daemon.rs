@@ -1,0 +1,233 @@
+//! End-to-end daemon test over a Unix domain socket: boot the server, load
+//! an inline METIS graph, detect, exhaust a deadline, mutate edges, and
+//! detect again on the rebuilt CSR — all through the HTTP API with a
+//! hand-rolled client on one keep-alive connection.
+
+#![cfg(unix)]
+
+use parcom_obs::json::{self, Value};
+use parcom_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// A minimal HTTP/1.1 client over one keep-alive connection, understanding
+/// both Content-Length and chunked framing.
+struct Client {
+    stream: UnixStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(socket: &PathBuf) -> Self {
+        let mut last_err = None;
+        for _ in 0..100 {
+            match UnixStream::connect(socket) {
+                Ok(stream) => {
+                    return Self {
+                        stream,
+                        buf: Vec::new(),
+                    }
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            }
+        }
+        panic!("daemon never came up: {last_err:?}");
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Value) {
+        write!(
+            self.stream,
+            "{method} {path} HTTP/1.1\r\nHost: parcom\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        self.stream.flush().unwrap();
+        self.read_response()
+    }
+
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed mid-response");
+        self.buf.extend_from_slice(&chunk[..n]);
+    }
+
+    fn take(&mut self, n: usize) -> Vec<u8> {
+        while self.buf.len() < n {
+            self.fill();
+        }
+        self.buf.drain(..n).collect()
+    }
+
+    fn take_line(&mut self) -> String {
+        loop {
+            if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                let line = String::from_utf8(self.buf.drain(..pos + 2).collect()).unwrap();
+                return line.trim_end().to_string();
+            }
+            self.fill();
+        }
+    }
+
+    fn read_response(&mut self) -> (u16, Value) {
+        let status_line = self.take_line();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
+        let mut content_length = None;
+        let mut chunked = false;
+        loop {
+            let line = self.take_line();
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').unwrap();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => content_length = Some(value.trim().parse::<usize>().unwrap()),
+                "transfer-encoding" => chunked = value.trim().eq_ignore_ascii_case("chunked"),
+                _ => {}
+            }
+        }
+        let body = if chunked {
+            let mut body = Vec::new();
+            loop {
+                let size_line = self.take_line();
+                let size = usize::from_str_radix(&size_line, 16).unwrap();
+                if size == 0 {
+                    assert_eq!(self.take_line(), "");
+                    break;
+                }
+                body.extend(self.take(size));
+                assert_eq!(self.take_line(), "");
+            }
+            body
+        } else {
+            self.take(content_length.expect("response without framing"))
+        };
+        let text = String::from_utf8(body).unwrap();
+        let value = json::parse(&text).unwrap_or_else(|e| panic!("bad body `{text}`: {e}"));
+        (status, value)
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing numeric `{key}`"))
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("missing string `{key}`"))
+}
+
+#[test]
+fn full_lifecycle_over_unix_socket() {
+    let dir = std::env::temp_dir().join(format!("parcom_serve_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("daemon.sock");
+    let server = Server::bind(ServeConfig {
+        socket: Some(socket.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&socket);
+
+    // liveness
+    let (status, v) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(get_str(&v, "status"), "ok");
+    assert_eq!(get_u64(&v, "graphs"), 0);
+
+    // load an inline METIS graph: 4 cliques of 5 in a ring
+    let (g, _) = parcom_generators::ring_of_cliques(4, 5);
+    let mut metis = Vec::new();
+    parcom_io::write_metis_to(&g, &mut metis).unwrap();
+    let mut body = String::from("{\"content\":");
+    json::write_str(&mut body, std::str::from_utf8(&metis).unwrap());
+    body.push('}');
+    let (status, v) = client.request("PUT", "/graphs/ring", &body);
+    assert_eq!(status, 201, "{v:?}");
+    assert_eq!(get_u64(&v, "nodes"), 20);
+    assert_eq!(get_u64(&v, "edges"), g.edge_count() as u64);
+
+    // a clean detection recovers the 4 cliques and embeds a v2 run report
+    let (status, v) = client.request(
+        "POST",
+        "/detect",
+        "{\"graph\":\"ring\",\"spec\":\"plm:seed=3\",\"include_partition\":true}",
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(get_str(&v, "schema"), "parcom-serve-detect/v1");
+    assert_eq!(get_str(&v, "termination"), "converged");
+    assert_eq!(get_u64(&v, "communities"), 4);
+    assert_eq!(get_u64(&v, "generation"), 0);
+    let report = v.get("report").expect("embedded report");
+    assert_eq!(get_str(report, "schema"), "parcom-run-report/v2");
+    assert_eq!(get_str(report, "algorithm"), "PLM");
+    let partition = v.get("partition").and_then(Value::as_array).unwrap();
+    assert_eq!(partition.len(), 20);
+
+    // an already-expired deadline terminates with "deadline" but still
+    // returns a valid (degraded) result
+    let (status, v) = client.request(
+        "POST",
+        "/detect",
+        "{\"graph\":\"ring\",\"spec\":\"plm\",\"budget\":{\"timeout_ms\":0}}",
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(get_str(&v, "termination"), "deadline");
+
+    // spec errors surface with the registry enumerated
+    let (status, v) = client.request("POST", "/detect", "{\"graph\":\"ring\",\"spec\":\"florp\"}");
+    assert_eq!(status, 422);
+    assert!(get_str(&v, "error").contains("plmr"), "{v:?}");
+
+    // merge cliques 0 and 1 by inserting the missing pairs, forcing a
+    // rebuild; the next detection sees 3 communities at generation 1
+    let mut inserts = Vec::new();
+    for u in 0..5u32 {
+        for w in 5..10u32 {
+            inserts.push(format!("[{u},{w}]"));
+        }
+    }
+    let body = format!("{{\"insert\":[{}],\"rebuild\":true}}", inserts.join(","));
+    let (status, v) = client.request("POST", "/graphs/ring/edges", &body);
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(get_str(&v, "schema"), "parcom-serve/v1");
+    assert_eq!(get_u64(&v, "generation"), 1);
+    assert_eq!(v.get("rebuilt").and_then(Value::as_bool), Some(true));
+    assert_eq!(get_u64(&v, "pending"), 0);
+
+    let (status, v) = client.request(
+        "POST",
+        "/detect",
+        "{\"graph\":\"ring\",\"spec\":{\"algo\":\"plm\",\"seed\":3}}",
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(get_u64(&v, "communities"), 3);
+    assert_eq!(get_u64(&v, "generation"), 1);
+
+    // listing reflects the rebuilt graph; eviction empties the store
+    let (status, v) = client.request("GET", "/graphs", "");
+    assert_eq!(status, 200);
+    let graphs = v.get("graphs").and_then(Value::as_array).unwrap();
+    assert_eq!(graphs.len(), 1);
+    assert_eq!(get_str(&graphs[0], "name"), "ring");
+    assert_eq!(get_u64(&graphs[0], "rebuilds"), 1);
+
+    let (status, _) = client.request("DELETE", "/graphs/ring", "");
+    assert_eq!(status, 200);
+    let (status, v) = client.request("POST", "/detect", "{\"graph\":\"ring\",\"spec\":\"plp\"}");
+    assert_eq!(status, 404, "{v:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
