@@ -15,10 +15,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use parcom_bench::kernels::{tally_pass_fxhash, tally_pass_scratch};
 use parcom_core::combine::core_communities;
 use parcom_core::quality::modularity;
-use parcom_core::{move_phase, CommunityDetector, Plm, Plp};
-use parcom_generators::{barabasi_albert, lfr, LfrParams};
+use parcom_core::{
+    move_phase, move_phase_strategy, move_phase_with_coloring, CommunityDetector, MoveStrategy,
+    Plm, Plp,
+};
+use parcom_generators::{barabasi_albert, lfr, rmat, LfrParams, RmatParams};
 use parcom_graph::hashing::FxHashMap;
-use parcom_graph::{coarsen, Partition, SparseWeightMap};
+use parcom_graph::parallel::with_threads;
+use parcom_graph::{coarsen, Coloring, Partition, SparseWeightMap};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -115,5 +119,57 @@ fn bench_aggregation_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_aggregation_kernel);
+fn bench_move_strategy(c: &mut Criterion) {
+    // The two instances the baseline binary pins: planted communities and
+    // skewed degrees. The move phase starts from singletons (its worst
+    // case) so all three strategies do the same logical work.
+    let (lfr_graph, _) = lfr(LfrParams::benchmark(20_000, 0.3), 42);
+    let rmat_graph = rmat(RmatParams::paper_with_edge_factor(15, 16), 42);
+    let instances = [("lfr_20k", &lfr_graph), ("rmat_s15", &rmat_graph)];
+
+    let mut group = c.benchmark_group("move-strategy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for (name, g) in instances {
+        // per-level setup PLM amortizes over all sweeps; timed separately
+        // below, so the per-strategy numbers compare per-sweep work
+        let coloring = Coloring::compute(g);
+        for strategy in [
+            MoveStrategy::Racy,
+            MoveStrategy::Coloring,
+            MoveStrategy::Synchronized,
+        ] {
+            for threads in [1usize, 2, 4] {
+                group.bench_function(&format!("{name}_{strategy}_t{threads}"), |b| {
+                    b.iter(|| {
+                        with_threads(threads, || {
+                            let mut p = Partition::singleton(g.node_count());
+                            black_box(match strategy {
+                                MoveStrategy::Coloring => {
+                                    move_phase_with_coloring(g, &mut p, 1.0, 4, &coloring)
+                                }
+                                _ => move_phase_strategy(g, &mut p, 1.0, 4, strategy),
+                            })
+                        })
+                    })
+                });
+            }
+        }
+        // the coloring strategy's one-time per-level setup cost
+        group.bench_function(&format!("{name}_coloring_setup"), |b| {
+            b.iter(|| black_box(Coloring::compute(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_aggregation_kernel,
+    bench_move_strategy
+);
 criterion_main!(benches);

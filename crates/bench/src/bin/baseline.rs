@@ -8,8 +8,10 @@
 //! path against the chunked parallel pipeline, and a resident-vs-cold
 //! serving comparison: the same detection request against a running
 //! `parcom-serve` daemon holding the graph in memory versus the cold
-//! parse-then-detect path a CLI invocation pays. Results go to
-//! `BENCH_kernels.json` (schema `parcom-bench-kernels/v3`) together with
+//! parse-then-detect path a CLI invocation pays, and a move-strategy
+//! comparison (racy vs coloring vs sync move phases at 1/2/4 threads, plus
+//! the coloring setup cost) on both instances. Results go to
+//! `BENCH_kernels.json` (schema `parcom-bench-kernels/v4`) together with
 //! each run's structured [`RunReport`]; a human-readable summary goes to
 //! stderr.
 //!
@@ -23,14 +25,18 @@
 use parcom_bench::harness::{run_measured, Measurement};
 use parcom_bench::kernels::{tally_pass_fxhash, tally_pass_scratch};
 use parcom_bench::time;
-use parcom_core::{CommunityDetector, Plm, Plp};
+use parcom_core::quality::modularity;
+use parcom_core::{
+    move_phase_strategy, move_phase_with_coloring, CommunityDetector, MoveStrategy, Plm, Plp,
+};
 use parcom_generators::{barabasi_albert, lfr, rmat, LfrParams, RmatParams};
 use parcom_graph::hashing::FxHashMap;
-use parcom_graph::{Graph, SparseWeightMap};
+use parcom_graph::parallel::with_threads;
+use parcom_graph::{Coloring, Graph, Partition, SparseWeightMap};
 use parcom_obs::{json, Recorder};
 
 /// Schema tag of the emitted JSON document.
-const SCHEMA: &str = "parcom-bench-kernels/v3";
+const SCHEMA: &str = "parcom-bench-kernels/v4";
 /// Seed of both instance generators and (offset by algorithm) the runs.
 const SEED: u64 = 42;
 /// Repetitions of each microkernel pass; the minimum is reported.
@@ -353,6 +359,107 @@ fn measure_serve(name: &str, g: &Graph, metis: &[u8]) -> ServeResult {
     }
 }
 
+/// One move strategy's timings on one instance (DESIGN.md §14).
+struct StrategyResult {
+    instance: String,
+    strategy: MoveStrategy,
+    /// `(thread_count, move_phase_ms)` pairs: one move phase from
+    /// singletons, 4 sweeps, minimum of [`KERNEL_REPS`] runs.
+    threads: Vec<(usize, f64)>,
+    /// One-time coloring setup cost (coloring strategy only, else 0).
+    setup_ms: f64,
+    /// End-to-end PLM modularity under this strategy, for the
+    /// quality-parity record next to the timings.
+    modularity: f64,
+}
+
+/// Times the three move-phase strategies on one instance at 1/2/4-thread
+/// pools (this container may have fewer cores — oversubscribed pools still
+/// exercise the schedule, so the timings are honest for the box they ran
+/// on), plus the coloring strategy's per-level setup cost.
+fn measure_move_strategies(name: &str, g: &Graph) -> Vec<StrategyResult> {
+    let mut results = Vec::new();
+    for strategy in [
+        MoveStrategy::Racy,
+        MoveStrategy::Coloring,
+        MoveStrategy::Synchronized,
+    ] {
+        // The coloring is per-level setup PLM amortizes over every sweep
+        // of the level (move + refinement), so it is timed apart from the
+        // per-sweep move work.
+        let coloring = (strategy == MoveStrategy::Coloring).then(|| Coloring::compute(g));
+        let setup_ms = if strategy == MoveStrategy::Coloring {
+            min_ms(KERNEL_REPS, || Coloring::compute(g))
+        } else {
+            0.0
+        };
+        let threads: Vec<(usize, f64)> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                let ms = min_ms(KERNEL_REPS, || {
+                    with_threads(t, || {
+                        let mut p = Partition::singleton(g.node_count());
+                        match &coloring {
+                            Some(c) => move_phase_with_coloring(g, &mut p, 1.0, 4, c),
+                            None => move_phase_strategy(g, &mut p, 1.0, 4, strategy),
+                        }
+                    })
+                });
+                (t, ms)
+            })
+            .collect();
+        let mut plm = Plm::with_strategy(strategy);
+        plm.set_seed(1);
+        let q = modularity(g, &plm.detect(g));
+        let per_thread = threads
+            .iter()
+            .map(|(t, ms)| format!("t{t} {ms:.1} ms"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "[baseline]   move[{strategy}]: {per_thread}{}; plm modularity {q:.4}",
+            if setup_ms > 0.0 {
+                format!(" (+ coloring setup {setup_ms:.1} ms)")
+            } else {
+                String::new()
+            }
+        );
+        results.push(StrategyResult {
+            instance: name.to_string(),
+            strategy,
+            threads,
+            setup_ms,
+            modularity: q,
+        });
+    }
+    results
+}
+
+fn write_strategy(out: &mut String, r: &StrategyResult) {
+    out.push_str("{\"instance\":");
+    json::write_str(out, &r.instance);
+    out.push_str(",\"strategy\":");
+    json::write_str(out, r.strategy.wire_name());
+    out.push_str(&format!(
+        ",\"deterministic\":{}",
+        r.strategy.is_deterministic()
+    ));
+    out.push_str(",\"setup_ms\":");
+    json::write_f64(out, r.setup_ms);
+    out.push_str(",\"modularity\":");
+    json::write_f64(out, r.modularity);
+    out.push_str(",\"threads\":[");
+    for (i, (t, ms)) in r.threads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"threads\":{t},\"move_ms\":"));
+        json::write_f64(out, *ms);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
 fn write_serve(out: &mut String, r: &ServeResult) {
     out.push_str("{\"name\":");
     json::write_str(out, &r.name);
@@ -451,6 +558,8 @@ fn main() {
         .expect("rendering the ingest instance failed");
     let ingest = measure_ingest(ba_name, &ba_graph, &ba_metis);
     let serve = measure_serve(ba_name, &ba_graph, &ba_metis);
+    let mut strategies = measure_move_strategies("lfr_20k_mu03", &lfr_graph);
+    strategies.extend(measure_move_strategies("rmat_s15_ef16", &rmat_graph));
 
     let mut doc = String::with_capacity(4096);
     doc.push_str("{\"schema\":");
@@ -466,7 +575,14 @@ fn main() {
     write_ingest(&mut doc, &ingest);
     doc.push_str(",\"serve\":");
     write_serve(&mut doc, &serve);
-    doc.push('}');
+    doc.push_str(",\"move_strategy\":[");
+    for (i, r) in strategies.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        write_strategy(&mut doc, r);
+    }
+    doc.push_str("]}");
     if let Err(e) = json::validate(&doc) {
         panic!("emitted malformed JSON: {e}");
     }

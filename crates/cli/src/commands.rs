@@ -50,6 +50,15 @@ fn make_algorithm(args: &Args) -> Result<Box<dyn CommunityDetector + Send>, Box<
     if args.get("randomized").is_some() {
         spec = spec.with_randomized(args.switch("randomized"));
     }
+    if let Some(raw) = args.get("move") {
+        let strategy = parcom_core::MoveStrategy::from_wire(raw).map_err(|m| {
+            parcom_core::SpecError::BadValue {
+                key: "move".into(),
+                message: m,
+            }
+        })?;
+        spec = spec.with_move(strategy);
+    }
     spec = spec.with_seed(args.get_or("seed", 1)?);
     Ok(spec.build()?)
 }

@@ -9,6 +9,7 @@
 
 use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
 use crate::combine::core_communities;
+use crate::moves::MoveStrategy;
 use crate::plm::Plm;
 use crate::plp::Plp;
 use parcom_graph::{coarsen, coarsen_with, Graph, Partition};
@@ -47,21 +48,36 @@ pub struct Epp {
 impl Epp {
     /// The paper's default instantiation `EPP(b, PLP, PLM)`.
     pub fn plp_plm(ensemble_size: usize) -> Self {
+        Self::plp_plm_with(ensemble_size, MoveStrategy::Racy)
+    }
+
+    /// `EPP(b, PLP, PLM)` with an explicit move strategy on the PLM final
+    /// (the `move=` knob forwards here; the PLP bases are unaffected).
+    pub fn plp_plm_with(ensemble_size: usize, strategy: MoveStrategy) -> Self {
         Self::new(
             (0..ensemble_size)
                 .map(|i| Box::new(seeded_plp(1 + i as u64)) as Box<dyn CommunityDetector + Send>)
                 .collect(),
-            Box::new(Plm::new()),
+            Box::new(Plm::with_strategy(strategy)),
         )
     }
 
     /// `EPP(b, PLP, PLMR)` — refinement as the final algorithm (§V-D).
     pub fn plp_plmr(ensemble_size: usize) -> Self {
+        Self::plp_plmr_with(ensemble_size, MoveStrategy::Racy)
+    }
+
+    /// `EPP(b, PLP, PLMR)` with an explicit move strategy on the final.
+    pub fn plp_plmr_with(ensemble_size: usize, strategy: MoveStrategy) -> Self {
         Self::new(
             (0..ensemble_size)
                 .map(|i| Box::new(seeded_plp(1 + i as u64)) as Box<dyn CommunityDetector + Send>)
                 .collect(),
-            Box::new(Plm::with_refinement()),
+            Box::new(Plm {
+                refine: true,
+                move_strategy: strategy,
+                ..Plm::default()
+            }),
         )
     }
 

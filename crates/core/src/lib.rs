@@ -34,6 +34,7 @@ pub mod community_stats;
 pub mod compare;
 pub mod epp;
 pub mod louvain;
+pub mod moves;
 pub mod pam;
 pub mod plm;
 pub mod plp;
@@ -48,6 +49,7 @@ pub use community_graph::CommunityGraph;
 pub use community_stats::{community_stats, partition_summary, CommunityStat, PartitionSummary};
 pub use epp::{Epp, EppIterated};
 pub use louvain::Louvain;
+pub use moves::{move_phase_strategy, move_phase_with_coloring, MoveStrategy};
 pub use pam::Pam;
 pub use plm::{move_phase, move_phase_with, Plm, PlmStats};
 pub use plp::{Plp, PlpStats, SeedPerturbation};

@@ -17,8 +17,11 @@
 //! extra modularity at a small time cost (§III-C).
 
 use crate::algorithm::{guard_preflight, guarded_result, CommunityDetector, GuardedResult};
+use crate::moves::{move_phase_colored, move_phase_synchronized, MoveStrategy};
 use crate::quality::delta_modularity;
-use parcom_graph::{coarsen_with, AtomicF64, AtomicPartition, Graph, Partition, ScratchPool};
+use parcom_graph::{
+    coarsen_with, AtomicF64, AtomicPartition, Coloring, Graph, Partition, ScratchPool,
+};
 use parcom_guard::{Budget, Termination};
 use parcom_obs::{CounterCell, LocalCount, Recorder, RunReport};
 use rayon::prelude::*;
@@ -50,6 +53,11 @@ pub struct Plm {
     pub max_move_iterations: usize,
     /// Cap on the coarsening hierarchy depth.
     pub max_levels: usize,
+    /// How the move phase schedules concurrent node moves (DESIGN.md §14):
+    /// the paper's racy default, coloring-isolated classes, or the
+    /// synchronized one-commit-per-sweep formulation. The latter two are
+    /// bit-deterministic at any thread count.
+    pub move_strategy: MoveStrategy,
 }
 
 /// Per-run statistics of PLM.
@@ -68,6 +76,7 @@ impl Default for Plm {
             refine: false,
             max_move_iterations: 32,
             max_levels: 64,
+            move_strategy: MoveStrategy::Racy,
         }
     }
 }
@@ -95,6 +104,59 @@ impl Plm {
         }
     }
 
+    /// PLM with an explicit move-phase strategy.
+    pub fn with_strategy(strategy: MoveStrategy) -> Self {
+        Self {
+            move_strategy: strategy,
+            ..Self::default()
+        }
+    }
+
+    /// One move phase dispatched by [`Self::move_strategy`]; `coloring` is
+    /// the level's precomputed coloring (present iff the strategy needs
+    /// one, computed once per level so refinement reuses it).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_move_phase(
+        &self,
+        g: &Graph,
+        zeta: &mut Partition,
+        coloring: Option<&Coloring>,
+        rec: &Recorder,
+        scratch: &ScratchPool,
+        budget: &Budget,
+    ) -> (u64, Termination) {
+        match self.move_strategy {
+            MoveStrategy::Racy => move_phase_pooled(
+                g,
+                zeta,
+                self.gamma,
+                self.max_move_iterations,
+                rec,
+                scratch,
+                budget,
+            ),
+            MoveStrategy::Coloring => move_phase_colored(
+                g,
+                zeta,
+                self.gamma,
+                self.max_move_iterations,
+                coloring.expect("coloring computed at level entry"),
+                rec,
+                scratch,
+                budget,
+            ),
+            MoveStrategy::Synchronized => move_phase_synchronized(
+                g,
+                zeta,
+                self.gamma,
+                self.max_move_iterations,
+                rec,
+                scratch,
+                budget,
+            ),
+        }
+    }
+
     /// One hierarchy level under a budget. On expiry the recursion stops
     /// and the *current level's* assignment — valid at every sweep
     /// boundary — bubbles up, getting prolonged through every caller on
@@ -117,17 +179,29 @@ impl Plm {
         level.counter("edges", g.edge_count() as u64);
         stats.level_sizes.push(g.node_count());
         let mut zeta = Partition::singleton(g.node_count());
+        // Coloring strategy: color the level once; both the move phase and
+        // the PLMR refinement below reuse the same classes. On budget
+        // expiry the level degrades to its singleton assignment — exactly
+        // what an interrupted move phase would leave.
+        let coloring = if self.move_strategy == MoveStrategy::Coloring {
+            let span = rec.span("coloring");
+            match Coloring::compute_budgeted(g, scratch, budget) {
+                Ok(c) => {
+                    span.counter("colors", c.num_colors() as u64);
+                    span.counter("followers", c.followers().len() as u64);
+                    Some(c)
+                }
+                Err(t) => {
+                    return (zeta, t, Some(format!("level-{depth}/coloring")));
+                }
+            }
+        } else {
+            None
+        };
         let (moves, move_term) = {
             let span = rec.span("move-phase");
-            let (moves, term) = move_phase_pooled(
-                g,
-                &mut zeta,
-                self.gamma,
-                self.max_move_iterations,
-                rec,
-                scratch,
-                budget,
-            );
+            let (moves, term) =
+                self.dispatch_move_phase(g, &mut zeta, coloring.as_ref(), rec, scratch, budget);
             span.counter("moves", moves);
             (moves, term)
         };
@@ -153,11 +227,10 @@ impl Plm {
                 }
                 if self.refine {
                     let span = rec.span("refine");
-                    let (refine_moves, refine_term) = move_phase_pooled(
+                    let (refine_moves, refine_term) = self.dispatch_move_phase(
                         g,
                         &mut zeta,
-                        self.gamma,
-                        self.max_move_iterations,
+                        coloring.as_ref(),
                         rec,
                         scratch,
                         budget,
@@ -220,11 +293,15 @@ impl Plm {
 impl CommunityDetector for Plm {
     fn name(&self) -> String {
         let base = if self.refine { "PLMR" } else { "PLM" };
-        if (self.gamma - 1.0).abs() > 1e-12 {
+        let mut name = if (self.gamma - 1.0).abs() > 1e-12 {
             format!("{base}(γ={})", self.gamma)
         } else {
             base.to_string()
+        };
+        if self.move_strategy != MoveStrategy::Racy {
+            name.push_str(&format!("[{}]", self.move_strategy));
         }
+        name
     }
 
     fn detect(&mut self, g: &Graph) -> Partition {

@@ -12,7 +12,7 @@
 //! Two wire forms round-trip losslessly:
 //!
 //! * **string** — `plm:gamma=1.5,seed=7` (knob order is canonicalized
-//!   by [`Display`](std::fmt::Display): `ensemble`, `gamma`,
+//!   by [`Display`](std::fmt::Display): `ensemble`, `gamma`, `move`,
 //!   `randomized`, `seed`);
 //! * **JSON** — `{"algo":"plm","gamma":1.5,"seed":7}` (a flat object).
 //!
@@ -24,6 +24,7 @@
 //! `gamma`, zero `ensemble`) are rejected.
 
 use crate::algorithm::CommunityDetector;
+use crate::moves::MoveStrategy;
 use crate::{Cggc, Cnm, Epp, EppIterated, Louvain, Pam, Plm, Plp, Rg};
 use parcom_obs::json::{self, Value};
 
@@ -40,6 +41,9 @@ pub enum Knob {
     Ensemble,
     /// Modularity resolution γ (`plm`, `plmr`, `rg`).
     Gamma,
+    /// PLM move-phase strategy `racy|coloring|sync` (`plm`, `plmr`, and
+    /// forwarded to the PLM final of `epp`/`eppr`); see DESIGN.md §14.
+    Move,
     /// Explicit per-iteration shuffle instead of relying on parallel
     /// scheduling randomness (`plp`; the paper's §III-A ablation).
     Randomized,
@@ -51,6 +55,7 @@ impl Knob {
         match self {
             Knob::Ensemble => "ensemble",
             Knob::Gamma => "gamma",
+            Knob::Move => "move",
             Knob::Randomized => "randomized",
         }
     }
@@ -99,18 +104,25 @@ pub const REGISTRY: &[AlgoInfo] = &[
         name: "plm",
         family: "louvain",
         summary: "parallel Louvain method (§III-B)",
-        knobs: &[Knob::Gamma],
-        build: |s| Box::new(Plm::with_gamma(s.gamma.unwrap_or(1.0))),
+        knobs: &[Knob::Gamma, Knob::Move],
+        build: |s| {
+            Box::new(Plm {
+                gamma: s.gamma.unwrap_or(1.0),
+                move_strategy: s.move_strategy.unwrap_or_default(),
+                ..Plm::default()
+            })
+        },
     },
     AlgoInfo {
         name: "plmr",
         family: "louvain",
         summary: "PLM with per-level refinement (§III-C)",
-        knobs: &[Knob::Gamma],
+        knobs: &[Knob::Gamma, Knob::Move],
         build: |s| {
             Box::new(Plm {
                 refine: true,
                 gamma: s.gamma.unwrap_or(1.0),
+                move_strategy: s.move_strategy.unwrap_or_default(),
                 ..Plm::default()
             })
         },
@@ -119,15 +131,25 @@ pub const REGISTRY: &[AlgoInfo] = &[
         name: "epp",
         family: "ensemble",
         summary: "ensemble preprocessing, PLP cores + PLM final (§III-D)",
-        knobs: &[Knob::Ensemble],
-        build: |s| Box::new(Epp::plp_plm(s.ensemble.unwrap_or(DEFAULT_ENSEMBLE))),
+        knobs: &[Knob::Ensemble, Knob::Move],
+        build: |s| {
+            Box::new(Epp::plp_plm_with(
+                s.ensemble.unwrap_or(DEFAULT_ENSEMBLE),
+                s.move_strategy.unwrap_or_default(),
+            ))
+        },
     },
     AlgoInfo {
         name: "eppr",
         family: "ensemble",
         summary: "ensemble preprocessing with PLMR final",
-        knobs: &[Knob::Ensemble],
-        build: |s| Box::new(Epp::plp_plmr(s.ensemble.unwrap_or(DEFAULT_ENSEMBLE))),
+        knobs: &[Knob::Ensemble, Knob::Move],
+        build: |s| {
+            Box::new(Epp::plp_plmr_with(
+                s.ensemble.unwrap_or(DEFAULT_ENSEMBLE),
+                s.move_strategy.unwrap_or_default(),
+            ))
+        },
     },
     AlgoInfo {
         name: "eml",
@@ -282,6 +304,8 @@ pub struct DetectorSpec {
     pub ensemble: Option<usize>,
     /// PLP explicit randomization.
     pub randomized: Option<bool>,
+    /// PLM move-phase strategy (only for PLM-backed algorithms).
+    pub move_strategy: Option<MoveStrategy>,
 }
 
 impl DetectorSpec {
@@ -295,6 +319,7 @@ impl DetectorSpec {
             gamma: None,
             ensemble: None,
             randomized: None,
+            move_strategy: None,
         })
     }
 
@@ -322,6 +347,12 @@ impl DetectorSpec {
         self
     }
 
+    /// Sets the PLM move-phase strategy knob.
+    pub fn with_move(mut self, strategy: MoveStrategy) -> Self {
+        self.move_strategy = Some(strategy);
+        self
+    }
+
     /// The registry entry this spec names.
     pub fn info(&self) -> Result<&'static AlgoInfo, SpecError> {
         lookup(self.algo).ok_or_else(|| SpecError::UnknownAlgo {
@@ -332,10 +363,11 @@ impl DetectorSpec {
     /// Checks knob applicability and value domains against the registry.
     pub fn validate(&self) -> Result<(), SpecError> {
         let info = self.info()?;
-        let set: [(Knob, bool); 3] = [
+        let set: [(Knob, bool); 4] = [
             (Knob::Gamma, self.gamma.is_some()),
             (Knob::Ensemble, self.ensemble.is_some()),
             (Knob::Randomized, self.randomized.is_some()),
+            (Knob::Move, self.move_strategy.is_some()),
         ];
         for (knob, is_set) in set {
             if is_set && !info.accepts(knob) {
@@ -481,6 +513,9 @@ impl DetectorSpec {
                         .map_err(|_| bad(format!("expected an unsigned integer, got `{raw}`")))?,
                 );
             }
+            "move" if info.accepts(Knob::Move) => {
+                self.move_strategy = Some(MoveStrategy::from_wire(raw).map_err(bad)?);
+            }
             "randomized" if info.accepts(Knob::Randomized) => {
                 self.randomized = Some(match raw {
                     "true" | "1" | "yes" => true,
@@ -509,6 +544,10 @@ impl DetectorSpec {
             out.push_str(",\"gamma\":");
             json::write_f64(&mut out, g);
         }
+        if let Some(m) = self.move_strategy {
+            out.push_str(",\"move\":");
+            json::write_str(&mut out, m.wire_name());
+        }
         if let Some(r) = self.randomized {
             out.push_str(&format!(",\"randomized\":{r}"));
         }
@@ -522,7 +561,7 @@ impl DetectorSpec {
 
 impl std::fmt::Display for DetectorSpec {
     /// The canonical string wire form: knobs in `ensemble`, `gamma`,
-    /// `randomized`, `seed` order, set knobs only.
+    /// `move`, `randomized`, `seed` order, set knobs only.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.algo)?;
         let mut sep = ':';
@@ -532,6 +571,10 @@ impl std::fmt::Display for DetectorSpec {
         }
         if let Some(g) = self.gamma {
             write!(f, "{sep}gamma={g}")?;
+            sep = ',';
+        }
+        if let Some(m) = self.move_strategy {
+            write!(f, "{sep}move={m}")?;
             sep = ',';
         }
         if let Some(r) = self.randomized {

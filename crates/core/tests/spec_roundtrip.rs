@@ -8,7 +8,7 @@
 //! knob, malformed value) is exact.
 
 use parcom_core::spec::{Knob, REGISTRY};
-use parcom_core::{DetectorSpec, SpecError};
+use parcom_core::{DetectorSpec, MoveStrategy, SpecError};
 use parcom_obs::json;
 
 /// A spec exercising every knob `info` accepts, with distinctive values.
@@ -23,6 +23,9 @@ fn full_spec(name: &str) -> DetectorSpec {
     }
     if info.accepts(Knob::Randomized) {
         spec = spec.with_randomized(true);
+    }
+    if info.accepts(Knob::Move) {
+        spec = spec.with_move(MoveStrategy::Coloring);
     }
     spec
 }
@@ -92,6 +95,84 @@ fn golden_wire_forms() {
     assert_eq!(spec.to_string(), "plp:randomized=true");
     assert_eq!(spec.to_json(), "{\"algo\":\"plp\",\"randomized\":true}");
     assert_eq!(DetectorSpec::new("cnm").unwrap().to_string(), "cnm");
+}
+
+#[test]
+fn move_knob_round_trips_both_wire_forms() {
+    // string form, every strategy
+    for (wire, strategy) in [
+        ("racy", MoveStrategy::Racy),
+        ("coloring", MoveStrategy::Coloring),
+        ("sync", MoveStrategy::Synchronized),
+    ] {
+        let spec = DetectorSpec::parse(&format!("plm:move={wire},seed=7")).unwrap();
+        assert_eq!(spec.move_strategy, Some(strategy));
+        assert_eq!(spec.to_string(), format!("plm:move={wire},seed=7"));
+    }
+    // JSON form
+    let spec =
+        DetectorSpec::parse_json("{\"algo\":\"plm\",\"move\":\"coloring\",\"seed\":7}").unwrap();
+    assert_eq!(spec.move_strategy, Some(MoveStrategy::Coloring));
+    assert_eq!(
+        spec.to_json(),
+        "{\"algo\":\"plm\",\"move\":\"coloring\",\"seed\":7}"
+    );
+    // and both forms agree
+    assert_eq!(
+        spec,
+        DetectorSpec::parse("plm:move=coloring,seed=7").unwrap()
+    );
+}
+
+#[test]
+fn unknown_move_value_enumerates_the_accepted_set() {
+    let err = DetectorSpec::parse("plm:move=eager").err().unwrap();
+    assert!(matches!(err, SpecError::BadValue { .. }), "{err:?}");
+    let message = err.to_string();
+    for value in ["racy", "coloring", "sync"] {
+        assert!(message.contains(value), "missing {value}: {message}");
+    }
+}
+
+#[test]
+fn move_knob_rejected_on_non_plm_algorithms() {
+    for algo in ["plp", "louvain", "cnm", "rg", "pam"] {
+        let err = DetectorSpec::parse(&format!("{algo}:move=coloring"))
+            .err()
+            .unwrap();
+        assert!(
+            matches!(err, SpecError::UnknownKnob { .. }),
+            "{algo}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn epp_and_eppr_forward_the_move_strategy_to_their_final_plm() {
+    let epp = DetectorSpec::parse("epp:move=coloring")
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_eq!(epp.name(), "EPP(4,PLP,PLM[coloring])");
+    let eppr = DetectorSpec::parse("eppr:move=sync")
+        .unwrap()
+        .build()
+        .unwrap();
+    assert_eq!(eppr.name(), "EPP(4,PLP,PLMR[sync])");
+    // plm/plmr themselves carry the strategy in their names too
+    assert_eq!(
+        DetectorSpec::parse("plmr:move=coloring")
+            .unwrap()
+            .build()
+            .unwrap()
+            .name(),
+        "PLMR[coloring]"
+    );
+    // default stays the racy paper behavior under the unsuffixed name
+    assert_eq!(
+        DetectorSpec::parse("epp").unwrap().build().unwrap().name(),
+        "EPP(4,PLP,PLM)"
+    );
 }
 
 #[test]

@@ -104,7 +104,12 @@ pub fn coarsen_with(g: &Graph, zeta: &Partition, rec: &Recorder) -> Coarsening {
         })
         .collect();
 
-    coarse_edges.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    // Total order including the weight: an unstable sort may permute
+    // equal-key entries differently across thread counts, and the segmented
+    // sum below adds floats in sorted order — without the weight in the key
+    // the coarse weights (and everything downstream) would not be
+    // bit-identical run to run.
+    coarse_edges.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
 
     parcom_guard::faultpoint!("graph/coarsen-merge");
     // Segmented sum of weights over equal (cu, cv) keys.

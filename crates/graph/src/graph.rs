@@ -197,6 +197,7 @@ impl Graph {
     }
 
     /// Maximum unweighted degree over all nodes.
+    // audit:allow(budget-propagation): one bounded degree scan; callers (coloring preflight) check the budget per round
     pub fn max_degree(&self) -> usize {
         self.par_nodes().map(|u| self.degree(u)).max().unwrap_or(0)
     }

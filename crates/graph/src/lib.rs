@@ -17,6 +17,8 @@
 //! * [`coarsening`] — the parallel coarsening scheme of §III-B: contract a
 //!   graph according to a partition, folding intra-community weight into
 //!   self-loops.
+//! * [`coloring`] — deterministic parallel greedy distance-1 coloring with
+//!   degree-1 vertex following, driving the conflict-free PLM move phase.
 //! * [`scratch`] — generation-stamped flat scratch maps ([`SparseWeightMap`])
 //!   replacing hash maps in the label/move kernels' neighborhood
 //!   aggregation, with a pool ([`ScratchPool`]) for per-thread reuse.
@@ -30,6 +32,7 @@ pub mod atomicf64;
 pub mod builder;
 pub mod clustering;
 pub mod coarsening;
+pub mod coloring;
 pub mod components;
 pub mod cores;
 pub mod graph;
@@ -45,6 +48,7 @@ pub use assortativity::degree_assortativity;
 pub use atomicf64::AtomicF64;
 pub use builder::GraphBuilder;
 pub use coarsening::{coarsen, coarsen_with, Coarsening};
+pub use coloring::Coloring;
 pub use cores::CoreDecomposition;
 pub use graph::{Graph, Node};
 pub use partition::{AtomicPartition, Partition};

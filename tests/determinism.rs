@@ -1,7 +1,9 @@
 //! Determinism guarantees: seed-driven components must reproduce exactly;
 //! thread-count changes must not affect *validity* of results.
 
-use parcom::community::{quality::modularity, CommunityDetector, Epp, Louvain, Plm, Plp, Rg};
+use parcom::community::{
+    quality::modularity, CommunityDetector, Epp, Louvain, MoveStrategy, Plm, Plp, Rg,
+};
 use parcom::generators::{
     barabasi_albert, erdos_renyi, hyperbolic, lfr, planted_partition, rmat, watts_strogatz,
     HyperbolicParams, LfrParams, PlantedPartitionParams, RmatParams,
@@ -83,6 +85,46 @@ fn parallel_algorithms_are_deterministic_single_threaded() {
             "PLM not deterministic on 1 thread"
         );
     });
+}
+
+#[test]
+fn coloring_and_sync_partitions_are_bit_identical_across_thread_counts() {
+    // The DESIGN.md §14 determinism contract: the full PLM hierarchy —
+    // coloring, move phases, coarsening, prolongation — must produce the
+    // exact same labels at 1, 2 and 4 threads and across repeated runs.
+    let (g, _) = lfr(LfrParams::benchmark(1200, 0.35), 13);
+    for strategy in [MoveStrategy::Coloring, MoveStrategy::Synchronized] {
+        let reference = with_threads(1, || Plm::with_strategy(strategy).detect(&g));
+        for threads in [1usize, 2, 4] {
+            for rep in 0..2 {
+                let zeta = with_threads(threads, || Plm::with_strategy(strategy).detect(&g));
+                assert_eq!(
+                    zeta.as_slice(),
+                    reference.as_slice(),
+                    "{strategy} differs at {threads} threads (rep {rep})"
+                );
+            }
+        }
+        // PLMR runs a second (refinement) move phase per level — the
+        // contract must survive that too.
+        let plmr = |threads| {
+            with_threads(threads, || {
+                Plm {
+                    refine: true,
+                    move_strategy: strategy,
+                    ..Plm::default()
+                }
+                .detect(&g)
+            })
+        };
+        let r1 = plmr(1);
+        let r4 = plmr(4);
+        assert_eq!(
+            r1.as_slice(),
+            r4.as_slice(),
+            "PLMR[{strategy}] differs across thread counts"
+        );
+    }
 }
 
 #[test]
