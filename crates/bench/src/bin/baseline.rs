@@ -10,10 +10,13 @@
 //! `parcom-serve` daemon holding the graph in memory versus the cold
 //! parse-then-detect path a CLI invocation pays, and a move-strategy
 //! comparison (racy vs coloring vs sync move phases at 1/2/4 threads, plus
-//! the coloring setup cost) on both instances. Results go to
-//! `BENCH_kernels.json` (schema `parcom-bench-kernels/v4`) together with
-//! each run's structured [`RunReport`]; a human-readable summary goes to
-//! stderr.
+//! the coloring setup cost) on both instances, and a memory-format
+//! comparison (DESIGN.md §15): parallel METIS text parse vs `.pcg` binary
+//! reopen on the ~1M-edge instance, plus the cache effect of degree-ordered
+//! relabeling on the hot kernels (tally pass, PLP, PLM) for the skewed
+//! instances. Results go to `BENCH_kernels.json` (schema
+//! `parcom-bench-kernels/v5`) together with each run's structured
+//! [`RunReport`]; a human-readable summary goes to stderr.
 //!
 //! Reproduce with:
 //!
@@ -32,11 +35,13 @@ use parcom_core::{
 use parcom_generators::{barabasi_albert, lfr, rmat, LfrParams, RmatParams};
 use parcom_graph::hashing::FxHashMap;
 use parcom_graph::parallel::with_threads;
+use parcom_graph::relabel::Relabeling;
 use parcom_graph::{Coloring, Graph, Partition, SparseWeightMap};
+use parcom_guard::Budget;
 use parcom_obs::{json, Recorder};
 
 /// Schema tag of the emitted JSON document.
-const SCHEMA: &str = "parcom-bench-kernels/v4";
+const SCHEMA: &str = "parcom-bench-kernels/v5";
 /// Seed of both instance generators and (offset by algorithm) the runs.
 const SEED: u64 = 42;
 /// Repetitions of each microkernel pass; the minimum is reported.
@@ -359,6 +364,144 @@ fn measure_serve(name: &str, g: &Graph, metis: &[u8]) -> ServeResult {
     }
 }
 
+/// Memory-format comparison on the ingest instance (DESIGN.md §15):
+/// parallel METIS text parse vs `.pcg` binary reopen, from files in both
+/// cases, plus the size and relabeling-apply cost of the binary artifact.
+struct MemoryFormatResult {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    metis_bytes: usize,
+    pcg_bytes: usize,
+    /// Parallel METIS path: `fs::read` + chunked parse + CSR build.
+    text_parse_ms: f64,
+    /// Binary path: `fs::read` (or mmap) + checksum + cast, zero parsing.
+    binary_reopen_ms: f64,
+    /// One-time cost of computing + applying the degree ordering.
+    relabel_apply_ms: f64,
+    /// Hot-kernel timings on the original vs relabeled views.
+    kernels: Vec<RelabelKernel>,
+}
+
+/// One kernel timed on the original and the degree-ordered view.
+struct RelabelKernel {
+    instance: String,
+    kernel: String,
+    original_ms: f64,
+    relabeled_ms: f64,
+}
+
+/// Times the hot kernels on a graph and its degree-ordered view: one
+/// tally + arg-max pass (the PLP/PLM inner loop, scratch formulation) and
+/// the end-to-end PLP and PLM runs. The relabeled runs traverse the same
+/// edges in hub-first order, so any delta is pure cache effect for the
+/// tally pass; the end-to-end runs additionally see order-dependent sweep
+/// counts (DESIGN.md §15) and are recorded for honesty, not asserted.
+fn relabel_kernels(name: &str, g: &Graph, out: &mut Vec<RelabelKernel>) {
+    let r = Relabeling::degree_ordered(g);
+    let h = r.apply(g);
+    let time_tally = |g: &Graph| {
+        let labels: Vec<u32> = g.nodes().collect();
+        let mut s = SparseWeightMap::with_capacity(g.node_count());
+        min_ms(KERNEL_REPS, || tally_pass_scratch(g, &labels, &mut s))
+    };
+    let time_detector = |mk: &dyn Fn() -> Box<dyn CommunityDetector>, g: &Graph| {
+        min_ms(KERNEL_REPS, || {
+            let mut algo = mk();
+            algo.set_seed(1);
+            algo.detect(g)
+        })
+    };
+    let kernels: [(&str, f64, f64); 3] = [
+        ("tally_scratch", time_tally(g), time_tally(&h)),
+        (
+            "plp",
+            time_detector(&|| Box::new(Plp::new()), g),
+            time_detector(&|| Box::new(Plp::new()), &h),
+        ),
+        (
+            "plm",
+            time_detector(&|| Box::new(Plm::new()), g),
+            time_detector(&|| Box::new(Plm::new()), &h),
+        ),
+    ];
+    for (kernel, original_ms, relabeled_ms) in kernels {
+        eprintln!(
+            "[baseline]   relabel[{name}/{kernel}]: original {original_ms:.1} ms, relabeled {relabeled_ms:.1} ms ({:.2}x)",
+            original_ms / relabeled_ms.max(1e-9)
+        );
+        out.push(RelabelKernel {
+            instance: name.to_string(),
+            kernel: kernel.to_string(),
+            original_ms,
+            relabeled_ms,
+        });
+    }
+}
+
+/// Measures the memory-format comparison on the ingest instance: both
+/// formats are loaded from real files (page-cache warm, same as repeated
+/// analysis sessions), so the binary number is the `.pcg` promise — admit,
+/// checksum, cast, no parse.
+fn measure_memory_format(name: &str, g: &Graph, metis: &[u8]) -> MemoryFormatResult {
+    use parcom_io::metis::read_metis_bytes;
+
+    let dir = std::env::temp_dir();
+    let metis_path = dir.join("parcom_baseline_fmt.metis");
+    let pcg_path = dir.join("parcom_baseline_fmt.pcg");
+    std::fs::write(&metis_path, metis).expect("writing the METIS temp file failed");
+
+    let relabel_apply_ms = min_ms(KERNEL_REPS, || {
+        let r = Relabeling::degree_ordered(g);
+        r.apply(g)
+    });
+    let r = Relabeling::degree_ordered(g);
+    let h = r.apply(g);
+    parcom_io::write_pcg(&h, Some(&r), &pcg_path).expect("writing the .pcg temp file failed");
+    let pcg_bytes = std::fs::metadata(&pcg_path)
+        .expect("stat of the .pcg temp file failed")
+        .len() as usize;
+
+    // sanity: the reread binary view matches the in-memory one
+    let reread =
+        parcom_io::read_pcg_budgeted(&pcg_path, &Recorder::disabled(), &Budget::unlimited())
+            .expect("binary reopen failed");
+    assert_eq!(
+        reread.graph.edge_count(),
+        g.edge_count(),
+        "binary roundtrip diverged"
+    );
+
+    let text_parse_ms = min_ms(KERNEL_REPS, || {
+        let buf = std::fs::read(&metis_path).expect("metis read failed");
+        read_metis_bytes(&buf).expect("metis parse failed")
+    });
+    let binary_reopen_ms = min_ms(KERNEL_REPS, || {
+        parcom_io::read_pcg_budgeted(&pcg_path, &Recorder::disabled(), &Budget::unlimited())
+            .expect("binary reopen failed")
+    });
+    std::fs::remove_file(&metis_path).ok();
+    std::fs::remove_file(&pcg_path).ok();
+
+    eprintln!(
+        "[baseline]   format: text parse {text_parse_ms:.1} ms vs binary reopen {binary_reopen_ms:.2} ms ({:.1}x; {} -> {} bytes, relabel apply {relabel_apply_ms:.1} ms)",
+        text_parse_ms / binary_reopen_ms.max(1e-9),
+        metis.len(),
+        pcg_bytes
+    );
+    MemoryFormatResult {
+        name: name.to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        metis_bytes: metis.len(),
+        pcg_bytes,
+        text_parse_ms,
+        binary_reopen_ms,
+        relabel_apply_ms,
+        kernels: Vec::new(),
+    }
+}
+
 /// One move strategy's timings on one instance (DESIGN.md §14).
 struct StrategyResult {
     instance: String,
@@ -497,6 +640,41 @@ fn write_ingest(out: &mut String, r: &IngestResult) {
     out.push('}');
 }
 
+fn write_memory_format(out: &mut String, r: &MemoryFormatResult) {
+    out.push_str("{\"name\":");
+    json::write_str(out, &r.name);
+    out.push_str(&format!(
+        ",\"nodes\":{},\"edges\":{},\"metis_bytes\":{},\"pcg_bytes\":{}",
+        r.nodes, r.edges, r.metis_bytes, r.pcg_bytes
+    ));
+    out.push_str(",\"text_parse_ms\":");
+    json::write_f64(out, r.text_parse_ms);
+    out.push_str(",\"binary_reopen_ms\":");
+    json::write_f64(out, r.binary_reopen_ms);
+    out.push_str(",\"reopen_speedup\":");
+    json::write_f64(out, r.text_parse_ms / r.binary_reopen_ms.max(1e-9));
+    out.push_str(",\"relabel_apply_ms\":");
+    json::write_f64(out, r.relabel_apply_ms);
+    out.push_str(",\"kernels\":[");
+    for (i, k) in r.kernels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"instance\":");
+        json::write_str(out, &k.instance);
+        out.push_str(",\"kernel\":");
+        json::write_str(out, &k.kernel);
+        out.push_str(",\"original_ms\":");
+        json::write_f64(out, k.original_ms);
+        out.push_str(",\"relabeled_ms\":");
+        json::write_f64(out, k.relabeled_ms);
+        out.push_str(",\"speedup\":");
+        json::write_f64(out, k.original_ms / k.relabeled_ms.max(1e-9));
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
 fn write_instance(out: &mut String, r: &InstanceResult) {
     out.push_str("{\"name\":");
     json::write_str(out, &r.name);
@@ -558,6 +736,9 @@ fn main() {
         .expect("rendering the ingest instance failed");
     let ingest = measure_ingest(ba_name, &ba_graph, &ba_metis);
     let serve = measure_serve(ba_name, &ba_graph, &ba_metis);
+    let mut memory_format = measure_memory_format(ba_name, &ba_graph, &ba_metis);
+    relabel_kernels(ba_name, &ba_graph, &mut memory_format.kernels);
+    relabel_kernels("rmat_s15_ef16", &rmat_graph, &mut memory_format.kernels);
     let mut strategies = measure_move_strategies("lfr_20k_mu03", &lfr_graph);
     strategies.extend(measure_move_strategies("rmat_s15_ef16", &rmat_graph));
 
@@ -575,6 +756,8 @@ fn main() {
     write_ingest(&mut doc, &ingest);
     doc.push_str(",\"serve\":");
     write_serve(&mut doc, &serve);
+    doc.push_str(",\"memory_format\":");
+    write_memory_format(&mut doc, &memory_format);
     doc.push_str(",\"move_strategy\":[");
     for (i, r) in strategies.iter().enumerate() {
         if i > 0 {

@@ -2,15 +2,20 @@
 
 use crate::args::Args;
 use parcom_core::{compare, quality, Budget, CommunityDetector, CommunityGraph, DetectorSpec};
+use parcom_graph::relabel::Relabeling;
 use parcom_graph::stats::{summarize, SummaryOptions};
 use parcom_graph::{Graph, Partition};
+use parcom_io::LoadedGraph;
 use std::error::Error;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
-/// Reads a graph, dispatching on the file extension: `.metis`/`.graph` are
-/// METIS, everything else is treated as an edge list.
-fn load_graph(path: &str) -> Result<Graph, Box<dyn Error>> {
+/// Reads a graph, sniffing the format by magic first (`.pcg` binary) and
+/// extension second (`.metis`/`.graph`/`.pcg` = METIS text, everything
+/// else = edge list). Binary files written with `--relabel` come back with
+/// their [`Relabeling`] attached; commands that emit per-node output must
+/// map it to original ids.
+fn load_graph(path: &str) -> Result<LoadedGraph, Box<dyn Error>> {
     load_graph_recorded(
         path,
         &parcom_obs::Recorder::disabled(),
@@ -18,18 +23,35 @@ fn load_graph(path: &str) -> Result<Graph, Box<dyn Error>> {
     )
 }
 
-/// [`load_graph`] recording `ingest/parse` and `ingest/build` phase spans
-/// on `recorder` (a disabled recorder keeps the zero-overhead path) and
-/// enforcing the budget's ingest limits: METIS headers exceeding them are
-/// rejected before allocation, edge lists after their (header-free) parse.
-/// Thin wrapper over [`parcom_io::load_graph_auto`], the ingest entry point
+/// [`load_graph`] recording ingest phase spans (`ingest/load` for binary,
+/// `ingest/parse`/`ingest/build` for text) on `recorder` (a disabled
+/// recorder keeps the zero-overhead path) and enforcing the budget's
+/// ingest limits: METIS and binary headers exceeding them are rejected
+/// before allocation, edge lists after their (header-free) parse. Thin
+/// wrapper over [`parcom_io::load_graph_auto`], the ingest entry point
 /// shared with `parcom-serve`.
 fn load_graph_recorded(
     path: &str,
     recorder: &parcom_obs::Recorder,
     budget: &Budget,
-) -> Result<Graph, Box<dyn Error>> {
+) -> Result<LoadedGraph, Box<dyn Error>> {
     Ok(parcom_io::load_graph_auto(path, recorder, budget)?)
+}
+
+/// Applies `--relabel`: reorders the graph hub-first unless the file
+/// already stored a relabeled view (then the stored permutation stands).
+fn maybe_relabel(
+    args: &Args,
+    graph: Graph,
+    relabeling: Option<Relabeling>,
+) -> (Graph, Option<Relabeling>) {
+    if args.switch("relabel") && relabeling.is_none() {
+        let r = Relabeling::degree_ordered(&graph);
+        let g = r.apply(&graph);
+        (g, Some(r))
+    } else {
+        (graph, relabeling)
+    }
 }
 
 /// Builds the requested algorithm through the [`DetectorSpec`] registry —
@@ -168,7 +190,11 @@ pub fn detect(args: &Args) -> CmdResult {
     } else {
         parcom_obs::Recorder::disabled()
     };
-    let g = load_graph_recorded(input, &ingest_rec, &make_limits())?;
+    let loaded = load_graph_recorded(input, &ingest_rec, &make_limits())?;
+    // Detection runs on the (possibly relabeled) resident view; per-node
+    // output below is mapped back to original ids, so `--relabel` changes
+    // cache behavior, never results.
+    let (g, relabeling) = maybe_relabel(args, loaded.graph, loaded.relabeling);
     let mut algo = make_algorithm(args)?;
     let threads: usize = args.get_or("threads", 0)?;
 
@@ -236,7 +262,12 @@ pub fn detect(args: &Args) -> CmdResult {
         println!("{summary}");
     }
     if let Some(out) = args.get("out") {
-        parcom_io::write_partition(&zeta, out)?;
+        // Emit in original ids whatever id space detection ran in.
+        let emitted = match &relabeling {
+            Some(r) => r.to_original(&zeta),
+            None => zeta,
+        };
+        parcom_io::write_partition(&emitted, out)?;
         if report_json {
             eprintln!("wrote partition to {out}");
         } else {
@@ -246,10 +277,34 @@ pub fn detect(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `parcom convert` — write a graph in the `parcom-graph-bin/v1` binary
+/// format (`.pcg`), optionally relabeled hub-first for cache locality.
+/// Reopening the output skips parsing and CSR assembly entirely
+/// (DESIGN.md §15).
+pub fn convert(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let loaded = load_graph(input)?;
+    let (g, relabeling) = maybe_relabel(args, loaded.graph, loaded.relabeling);
+    parcom_io::write_pcg(&g, relabeling.as_ref(), out)?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: n={} m={} ({bytes} bytes{})",
+        g.node_count(),
+        g.edge_count(),
+        if relabeling.is_some() {
+            ", degree-ordered"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
 /// `parcom stats`
 pub fn stats(args: &Args) -> CmdResult {
     let input = args.require("input")?;
-    let g = load_graph(input)?;
+    let g = load_graph(input)?.graph;
     let s = summarize(&g, SummaryOptions::default());
     println!("graph {input}");
     println!("  nodes:       {}", s.nodes);
@@ -318,10 +373,16 @@ pub fn serve(args: &Args) -> CmdResult {
 
 /// `parcom cg` — export the community graph as DOT.
 pub fn community_graph(args: &Args) -> CmdResult {
-    let g = load_graph(args.require("input")?)?;
-    let zeta = parcom_io::read_partition(args.require("partition")?)?;
+    let loaded = load_graph(args.require("input")?)?;
+    let g = loaded.graph;
+    let mut zeta = parcom_io::read_partition(args.require("partition")?)?;
     if zeta.len() != g.node_count() {
         return Err("partition does not cover the graph".into());
+    }
+    // Partition files are in original ids; a relabeled binary graph needs
+    // the assignment permuted into its id space before aggregation.
+    if let Some(r) = &loaded.relabeling {
+        zeta = r.to_new(&zeta);
     }
     let out = args.require("out")?;
     let cg = CommunityGraph::build(&g, &zeta);

@@ -33,6 +33,7 @@ fn main() {
         "detect" => commands::detect(&parsed),
         "stats" => commands::stats(&parsed),
         "compare" => commands::compare(&parsed),
+        "convert" => commands::convert(&parsed),
         "cg" => commands::community_graph(&parsed),
         "serve" => commands::serve(&parsed),
         other => {
@@ -57,13 +58,16 @@ fn print_usage() {
          \x20 generate --model <lfr|rmat|ba|ws|er|grid|planted|cliques> --out FILE [model flags] [--truth FILE]\n\
          \x20 detect   --input FILE --algo <{algos}>\n\
          \x20          [--out FILE] [--threads N] [--gamma X] [--ensemble B] [--seed S] [--report json]\n\
-         \x20          [--timeout SECS] [--max-sweeps N] [--max-nodes N] [--max-edges M]\n\
+         \x20          [--timeout SECS] [--max-sweeps N] [--max-nodes N] [--max-edges M] [--relabel]\n\
+         \x20 convert  --input FILE --out FILE.pcg [--relabel]\n\
          \x20 stats    --input FILE\n\
          \x20 compare  --a PARTITION --b PARTITION\n\
          \x20 cg       --input FILE --partition FILE --out FILE.dot\n\
          \x20 serve    [--socket PATH] [--listen ADDR] [--max-nodes N] [--max-edges M]\n\
          \n\
-         graph files: .metis/.graph (METIS) or anything else (edge list).",
+         graph files: .pcg (parcom binary, sniffed by magic), .metis/.graph (METIS),\n\
+         anything else (edge list). `convert` writes .pcg for instant reopen;\n\
+         --relabel stores a hub-first cache order (output stays in original ids).",
         algos = parcom_core::spec::algorithm_list(),
     );
 }

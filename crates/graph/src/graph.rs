@@ -56,6 +56,47 @@ pub struct Graph {
     num_edges: usize,
 }
 
+/// Owned CSR arrays plus the derived caches — the exact fields of [`Graph`],
+/// exposed so a deserializer can hand a fully-materialized graph to
+/// [`Graph::from_cached_parts`] without re-deriving anything.
+#[derive(Clone, Debug)]
+pub struct CsrParts {
+    /// Row offsets; length `n + 1`, `offsets[0] == 0`.
+    pub offsets: Vec<usize>,
+    /// Concatenated, per-row-sorted neighbor lists.
+    pub targets: Vec<Node>,
+    /// Edge weights parallel to `targets`.
+    pub weights: Vec<f64>,
+    /// Per-node sum of incident weights (self-loop once); length `n`.
+    pub weighted_degrees: Vec<f64>,
+    /// Per-node self-loop weight; length `n`.
+    pub self_loops: Vec<f64>,
+    /// ω(E): total edge weight, self-loops counted once.
+    pub total_weight: f64,
+    /// Number of undirected edges (self-loops count one).
+    pub num_edges: usize,
+}
+
+/// Borrowed view of every CSR array and derived cache of a [`Graph`] — what a
+/// serializer reads to write the graph without re-deriving anything.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrView<'a> {
+    /// Row offsets; length `n + 1`.
+    pub offsets: &'a [usize],
+    /// Concatenated, per-row-sorted neighbor lists.
+    pub targets: &'a [Node],
+    /// Edge weights parallel to `targets`.
+    pub weights: &'a [f64],
+    /// Per-node sum of incident weights (self-loop once).
+    pub weighted_degrees: &'a [f64],
+    /// Per-node self-loop weight.
+    pub self_loops: &'a [f64],
+    /// ω(E): total edge weight, self-loops counted once.
+    pub total_weight: f64,
+    /// Number of undirected edges (self-loops count one).
+    pub num_edges: usize,
+}
+
 impl Graph {
     /// Assembles a graph from raw CSR arrays. Rows must be sorted by target
     /// and free of duplicate targets; every non-loop edge must appear in both
@@ -106,6 +147,91 @@ impl Graph {
             panic!("construction produced an inconsistent CSR graph: {e}");
         }
         g
+    }
+
+    /// Assembles a graph from raw CSR arrays *plus* the derived caches,
+    /// skipping the O(n + m) cache recomputation of [`Self::from_csr`] —
+    /// the zero-parse reopen path of the binary graph format
+    /// (`parcom_io::binfmt`). The caches are trusted (the binary format
+    /// checksums them); what is re-verified is every invariant whose
+    /// violation could panic later code: array lengths, monotone offsets
+    /// ending at `targets.len()`, and every target id in range. In debug
+    /// builds and under the `validate` feature the full [`Self::validate`]
+    /// runs as well, so tests exercise the complete contract.
+    pub fn from_cached_parts(parts: CsrParts) -> Result<Self, String> {
+        let CsrParts {
+            offsets,
+            targets,
+            weights,
+            weighted_degrees,
+            self_loops,
+            total_weight,
+            num_edges,
+        } = parts;
+        if offsets.is_empty() {
+            return Err("offsets must have length n + 1 (is empty)".into());
+        }
+        let n = offsets.len() - 1;
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] = {} (want 0)", offsets[0]));
+        }
+        if targets.len() != weights.len() {
+            return Err(format!(
+                "targets/weights length mismatch: {} vs {}",
+                targets.len(),
+                weights.len()
+            ));
+        }
+        if *offsets.last().unwrap() != targets.len() {
+            return Err(format!(
+                "offsets end at {} but there are {} adjacency entries",
+                offsets.last().unwrap(),
+                targets.len()
+            ));
+        }
+        if weighted_degrees.len() != n || self_loops.len() != n {
+            return Err(format!(
+                "degree caches have length {}/{} for {n} nodes",
+                weighted_degrees.len(),
+                self_loops.len()
+            ));
+        }
+        if let Some(u) = (0..n).find(|&u| offsets[u] > offsets[u + 1]) {
+            return Err(format!(
+                "offsets not monotone at node {u}: {} > {}",
+                offsets[u],
+                offsets[u + 1]
+            ));
+        }
+        if let Some(&v) = targets.iter().find(|&&v| v as usize >= n) {
+            return Err(format!("target id {v} out of range (n = {n})"));
+        }
+        let g = Self {
+            offsets,
+            targets,
+            weights,
+            weighted_degrees,
+            self_loops,
+            total_weight,
+            num_edges,
+        };
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Borrows every CSR array and derived cache at once — what a binary
+    /// serializer needs to write the graph without re-deriving anything.
+    pub fn csr_view(&self) -> CsrView<'_> {
+        CsrView {
+            offsets: &self.offsets,
+            targets: &self.targets,
+            weights: &self.weights,
+            weighted_degrees: &self.weighted_degrees,
+            self_loops: &self.self_loops,
+            total_weight: self.total_weight,
+            num_edges: self.num_edges,
+        }
     }
 
     /// Number of nodes `n`.

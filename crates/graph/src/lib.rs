@@ -39,6 +39,7 @@ pub mod graph;
 pub mod hashing;
 pub mod parallel;
 pub mod partition;
+pub mod relabel;
 pub mod scratch;
 pub mod stats;
 pub mod subgraph;
@@ -50,8 +51,9 @@ pub use builder::GraphBuilder;
 pub use coarsening::{coarsen, coarsen_with, Coarsening};
 pub use coloring::Coloring;
 pub use cores::CoreDecomposition;
-pub use graph::{Graph, Node};
+pub use graph::{CsrParts, CsrView, Graph, Node};
 pub use partition::{AtomicPartition, Partition};
+pub use relabel::Relabeling;
 pub use scratch::{ScratchPool, SparseWeightMap};
 pub use subgraph::{induced_subgraph, largest_component_subgraph, Subgraph};
 

@@ -1,4 +1,11 @@
-#![forbid(unsafe_code)]
+// The workspace-wide no-unsafe rule, with one audited exception: the
+// `mmap` feature compiles `src/mmap.rs` (see DESIGN.md §15). `forbid`
+// cannot be overridden even by that one module, so the feature swaps it
+// for `deny`, which `mmap.rs` alone is allowed to lift; every other
+// module stays unsafe-free under both lints, and `parcom-audit` flags any
+// unsafe outside the allowlisted file.
+#![cfg_attr(not(feature = "mmap"), forbid(unsafe_code))]
+#![cfg_attr(feature = "mmap", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 //! # parcom-io — graph and partition I/O
@@ -19,19 +26,29 @@
 //! `parcom-obs`. The pre-parallel readers are retained as
 //! [`metis::read_metis_seq`] / [`edgelist::read_edge_list_seq`] and pinned
 //! bit-identical by differential proptests.
+//! * [`binfmt`] — the `parcom-graph-bin/v1` binary graph format (`.pcg`):
+//!   checksummed, section-tabled CSR with the derived caches stored, so
+//!   reopening a converted graph is a contiguous read plus word-wise
+//!   conversion — no parsing, no CSR assembly (DESIGN.md §15). The `mmap`
+//!   feature maps instead of reading ([`mmap`]), the workspace's one
+//!   audited `unsafe` module.
 //! * [`partition_io`] — one community id per line, aligned with node ids.
 //! * [`dot`] — Graphviz export of community graphs (node size proportional
 //!   to community size, like the paper's PGPgiantcompo drawings).
 //! * [`gml`] — GML export with per-node community annotations for external
 //!   visualization tools.
 
+pub mod binfmt;
 pub(crate) mod chunk;
 pub mod dot;
 pub mod edgelist;
 pub mod gml;
 pub mod metis;
+#[cfg(feature = "mmap")]
+pub mod mmap;
 pub mod partition_io;
 
+pub use binfmt::{read_pcg_budgeted, write_pcg, PcgGraph};
 pub use dot::write_community_graph_dot;
 pub use edgelist::{read_edge_list, read_edge_list_recorded, write_edge_list};
 pub use gml::{write_gml, write_gml_to};
@@ -41,16 +58,58 @@ pub use metis::{
 };
 pub use partition_io::{read_partition, write_partition};
 
+use parcom_graph::relabel::Relabeling;
 use parcom_graph::Graph;
 use parcom_guard::Budget;
 use parcom_obs::Recorder;
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
-/// Reads a graph from `path`, dispatching on the file extension —
-/// `.metis`/`.graph` are METIS, everything else is treated as an edge
-/// list — recording `ingest/parse`/`ingest/build` spans on `recorder`
-/// and enforcing the budget's input limits: METIS headers exceeding them
-/// are rejected *before* allocation, edge lists (which have no header to
+/// Which on-disk format [`load_graph_auto`] found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// `parcom-graph-bin/v1` binary ([`binfmt`]), detected by magic.
+    PcgBinary,
+    /// METIS/Chaco adjacency text.
+    Metis,
+    /// Whitespace-separated edge list.
+    EdgeList,
+}
+
+impl GraphFormat {
+    /// Stable lowercase name, used in reports and daemon responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GraphFormat::PcgBinary => "pcg",
+            GraphFormat::Metis => "metis",
+            GraphFormat::EdgeList => "edgelist",
+        }
+    }
+}
+
+/// What [`load_graph_auto`] returns: the graph, the relabeling stored
+/// with it (binary files written with `parcom convert --relabel`), and
+/// the detected format.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// The graph, in the file's (possibly relabeled) id space.
+    pub graph: Graph,
+    /// Permutation mapping original ids to the graph's ids, if any.
+    /// Callers that emit partitions must map them back through
+    /// [`Relabeling::to_original`].
+    pub relabeling: Option<Relabeling>,
+    /// The format the file was detected as.
+    pub format: GraphFormat,
+}
+
+/// Reads a graph from `path`, sniffing the format by content first and
+/// extension second: a file starting with the `.pcg` magic bytes is
+/// binary *whatever its name*; otherwise `.metis`/`.graph`/`.pcg` parse
+/// as METIS (a text graph renamed `.pcg` still loads) and everything else
+/// as an edge list. Ingest spans (`ingest/load` or
+/// `ingest/parse`/`ingest/build`) are recorded on `recorder`, and the
+/// budget's input limits are enforced: METIS and binary headers are
+/// rejected *before* allocation, edge lists (which have no header to
 /// admit against) after their parse. The single ingest entry point shared
 /// by the CLI and `parcom-serve`, so both front ends admit and instrument
 /// identically.
@@ -58,23 +117,59 @@ pub fn load_graph_auto(
     path: impl AsRef<Path>,
     recorder: &Recorder,
     budget: &Budget,
-) -> Result<Graph, IoError> {
+) -> Result<LoadedGraph, IoError> {
     let path = path.as_ref();
+    if at_path(path, sniff_pcg(path))? {
+        let loaded = binfmt::read_pcg_budgeted(path, recorder, budget)?;
+        return Ok(LoadedGraph {
+            graph: loaded.graph,
+            relabeling: loaded.relabeling,
+            format: GraphFormat::PcgBinary,
+        });
+    }
     let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
-    if matches!(ext, "metis" | "graph") {
-        read_metis_budgeted(path, recorder, budget)
+    if matches!(ext, "metis" | "graph" | "pcg") {
+        let graph = read_metis_budgeted(path, recorder, budget)?;
+        Ok(LoadedGraph {
+            graph,
+            relabeling: None,
+            format: GraphFormat::Metis,
+        })
     } else {
-        let g = read_edge_list_recorded(path, recorder)?.graph;
-        if budget.admits(g.node_count(), g.edge_count()).is_err() {
+        let graph = read_edge_list_recorded(path, recorder)?.graph;
+        if budget
+            .admits(graph.node_count(), graph.edge_count())
+            .is_err()
+        {
             return Err(IoError::parse(format!(
                 "graph has {} nodes / {} edges, exceeding the ingest limit",
-                g.node_count(),
-                g.edge_count()
+                graph.node_count(),
+                graph.edge_count()
             ))
             .with_path(path));
         }
-        Ok(g)
+        Ok(LoadedGraph {
+            graph,
+            relabeling: None,
+            format: GraphFormat::EdgeList,
+        })
     }
+}
+
+/// Reads just enough of `path` to test for the binary magic. A file
+/// shorter than the magic is simply not binary, not an error.
+fn sniff_pcg(path: &Path) -> Result<bool, IoError> {
+    let mut file = std::fs::File::open(path).map_err(IoError::from)?;
+    let mut head = [0u8; 8];
+    let mut filled = 0;
+    while filled < head.len() {
+        let got = file.read(&mut head[filled..]).map_err(IoError::from)?;
+        if got == 0 {
+            return Ok(false);
+        }
+        filled += got;
+    }
+    Ok(binfmt::is_pcg_magic(&head))
 }
 
 /// The error of every reader and writer in this crate: one uniform shape

@@ -1,0 +1,148 @@
+//! Read-only memory mapping for the binary graph reopen path.
+//!
+//! **This module is the only `unsafe` code in the workspace**, compiled
+//! only under the `mmap` feature; the default build keeps
+//! `#![forbid(unsafe_code)]` crate-wide (the crate root swaps `forbid`
+//! for `deny` when the feature is on, since `forbid` cannot be scoped).
+//! `parcom-audit`'s `unsafe-code` rule allowlists exactly this file, so
+//! any unsafe appearing anywhere else still fails CI. DESIGN.md §15
+//! records the confinement contract.
+//!
+//! The mapping is private and read-only (`PROT_READ | MAP_PRIVATE`), made
+//! via the raw `mmap(2)`/`munmap(2)` symbols of the platform libc that
+//! `std` already links — no external crate. A [`Mmap`] derefs to `&[u8]`,
+//! so `binfmt` parses it exactly like an owned buffer; dropping it unmaps.
+//!
+//! Safety argument, in one place:
+//! * the pointer comes from a successful `mmap` of exactly `len` bytes,
+//!   checked against `MAP_FAILED`, so it is valid for `len` reads until
+//!   `munmap`;
+//! * `munmap` happens only in `Drop`, so no slice can outlive the mapping
+//!   (the borrow checker ties every `&[u8]` to the `Mmap`'s lifetime);
+//! * zero-length files never call `mmap` (it would fail with `EINVAL`);
+//!   they deref to the canonical empty slice;
+//! * the fd is closed after mapping, which POSIX permits (the mapping
+//!   holds its own reference).
+//!
+//! A file truncated by another process while mapped can still fault reads
+//! (`SIGBUS`) — inherent to `mmap` on every platform and accepted for the
+//! daemon's restart path, which owns the files it reopens.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+
+const PROT_READ: c_int = 1;
+const MAP_PRIVATE: c_int = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut u8,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut u8;
+    fn munmap(addr: *mut u8, len: usize) -> c_int;
+}
+
+/// A read-only, private memory mapping of a whole file.
+#[derive(Debug)]
+pub struct Mmap {
+    /// Null iff `len == 0` (empty files are never mapped).
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl Mmap {
+    /// Maps `path` read-only.
+    pub fn map(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Self {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: requesting a fresh private read-only mapping of `len`
+        // bytes backed by an open fd; no existing memory is affected
+        // (`addr` is a hint of null, not MAP_FIXED). The result is checked
+        // against MAP_FAILED before use.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { ptr, len })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live mapping of exactly `len` bytes (see
+        // module docs); the returned slice cannot outlive `self`, and
+        // `munmap` only runs in `Drop`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: unmapping the exact region this struct mapped, once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_file_contents() {
+        let dir = std::env::temp_dir().join(format!("parcom-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let m = Mmap::map(&path).unwrap();
+        assert_eq!(&m[..], b"hello mapping");
+        drop(m);
+
+        let empty = dir.join("empty.bin");
+        std::fs::write(&empty, b"").unwrap();
+        let m = Mmap::map(&empty).unwrap();
+        assert!(m.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Mmap::map("/nonexistent/parcom-mmap-test").is_err());
+    }
+}

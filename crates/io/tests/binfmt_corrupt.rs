@@ -1,0 +1,203 @@
+//! The corrupt-input matrix for the binary graph loader, mirroring the
+//! METIS `error_context` contract: every failure mode is a typed
+//! [`IoError`] whose `Display` leads with the file path, and no corruption
+//! reaches [`parcom_graph::Graph`] construction. Plus the format-sniffing
+//! contract of [`load_graph_auto`]: dispatch is by magic bytes first, so
+//! misnamed files load as what they *are*.
+
+use parcom_graph::GraphBuilder;
+use parcom_guard::Budget;
+use parcom_io::binfmt::{self, read_pcg_budgeted};
+use parcom_io::{load_graph_auto, write_pcg, GraphFormat, IoError, IoErrorKind};
+use parcom_obs::Recorder;
+use std::path::{Path, PathBuf};
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parcom_binfmt_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small weighted graph with a self-loop, serialized to `name` under the
+/// temp dir, returning the path and the pristine bytes.
+fn valid_pcg(name: &str) -> (PathBuf, Vec<u8>) {
+    let mut b = GraphBuilder::new(8);
+    for u in 0..7u32 {
+        b.add_unweighted_edge(u, u + 1);
+    }
+    b.add_edge(0, 4, 2.5);
+    b.add_edge(3, 3, 0.5);
+    let g = b.build();
+    let path = temp_dir().join(name);
+    write_pcg(&g, None, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (path, bytes)
+}
+
+fn load(path: &Path) -> Result<binfmt::PcgGraph, IoError> {
+    read_pcg_budgeted(path, &Recorder::disabled(), &Budget::unlimited())
+}
+
+/// The error must be a parse error carrying the path, displayed as
+/// `path: message`, with `message` containing `needle`.
+fn assert_corrupt(err: &IoError, path: &Path, needle: &str) {
+    assert_eq!(err.path(), Some(path), "missing path context: {err}");
+    assert!(
+        matches!(err.kind(), IoErrorKind::Parse(_)),
+        "wrong kind: {err}"
+    );
+    let display = err.to_string();
+    let prefix = format!("{}: ", path.display());
+    assert!(
+        display.starts_with(&prefix),
+        "`{display}` does not start with `{prefix}`"
+    );
+    assert!(
+        display.contains(needle),
+        "`{display}` does not mention `{needle}`"
+    );
+}
+
+#[test]
+fn truncated_below_the_fixed_header() {
+    let (path, bytes) = valid_pcg("trunc_head.pcg");
+    std::fs::write(&path, &bytes[..40]).unwrap();
+    assert_corrupt(&load(&path).unwrap_err(), &path, "truncated");
+}
+
+#[test]
+fn truncated_inside_the_section_table() {
+    let (path, bytes) = valid_pcg("trunc_table.pcg");
+    std::fs::write(&path, &bytes[..binfmt::MAGIC.len() + 60]).unwrap();
+    assert_corrupt(&load(&path).unwrap_err(), &path, "truncated");
+}
+
+#[test]
+fn wrong_magic() {
+    let (path, mut bytes) = valid_pcg("magic.pcg");
+    bytes[0] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    assert_corrupt(&load(&path).unwrap_err(), &path, "bad magic");
+}
+
+#[test]
+fn unsupported_version() {
+    let (path, mut bytes) = valid_pcg("version.pcg");
+    bytes[8] = 99; // version field, checked before the header checksum
+    std::fs::write(&path, &bytes).unwrap();
+    let err = load(&path).unwrap_err();
+    assert_corrupt(&err, &path, "unsupported binary graph version 99");
+    assert!(err.to_string().contains(binfmt::SCHEMA));
+}
+
+#[test]
+fn implausible_section_count() {
+    let (path, mut bytes) = valid_pcg("seccount.pcg");
+    bytes[12] = 0xff; // section count, checked before the header checksum
+    std::fs::write(&path, &bytes).unwrap();
+    assert_corrupt(&load(&path).unwrap_err(), &path, "sections");
+}
+
+#[test]
+fn header_corruption_fails_the_header_checksum() {
+    let (path, mut bytes) = valid_pcg("headsum.pcg");
+    bytes[24] ^= 0x01; // node count inside the checksummed header
+    std::fs::write(&path, &bytes).unwrap();
+    assert_corrupt(&load(&path).unwrap_err(), &path, "header checksum mismatch");
+}
+
+#[test]
+fn payload_corruption_fails_the_data_checksum() {
+    let (path, mut bytes) = valid_pcg("bodysum.pcg");
+    let len = bytes.len();
+    bytes[len / 2] ^= 0x10; // some section payload byte
+    std::fs::write(&path, &bytes).unwrap();
+    assert_corrupt(&load(&path).unwrap_err(), &path, "checksum mismatch");
+}
+
+#[test]
+fn section_overflowing_the_file_is_rejected() {
+    let (path, bytes) = valid_pcg("overflow.pcg");
+    // Cut the body short: the header (its checksum covers only itself)
+    // stays valid, so the table now points past the end of the file.
+    std::fs::write(&path, &bytes[..bytes.len() - 24]).unwrap();
+    assert_corrupt(&load(&path).unwrap_err(), &path, "overflows the file");
+}
+
+#[test]
+fn ingest_limit_rejects_the_header_with_path_context() {
+    let (path, _) = valid_pcg("limit.pcg");
+    let tight = Budget::unlimited().with_input_limits(2, 1);
+    let err = read_pcg_budgeted(&path, &Recorder::disabled(), &tight).unwrap_err();
+    assert_corrupt(&err, &path, "exceeding the ingest limit");
+}
+
+// ---------------------------------------------------------------------------
+// Format sniffing: magic bytes first, extension second.
+
+#[test]
+fn pcg_named_metis_text_loads_as_metis() {
+    let path = temp_dir().join("actually_text.pcg");
+    std::fs::write(&path, "3 2\n2\n1 3\n2\n").unwrap();
+    let loaded = load_graph_auto(&path, &Recorder::disabled(), &Budget::unlimited()).unwrap();
+    assert_eq!(loaded.format, GraphFormat::Metis);
+    assert_eq!(loaded.graph.node_count(), 3);
+    assert_eq!(loaded.graph.edge_count(), 2);
+    assert!(loaded.relabeling.is_none());
+}
+
+#[test]
+fn metis_named_binary_loads_as_binary() {
+    let (pcg_path, bytes) = valid_pcg("real_binary.pcg");
+    let disguised = temp_dir().join("disguised.metis");
+    std::fs::write(&disguised, &bytes).unwrap();
+    let loaded = load_graph_auto(&disguised, &Recorder::disabled(), &Budget::unlimited()).unwrap();
+    assert_eq!(loaded.format, GraphFormat::PcgBinary);
+    let direct = load(&pcg_path).unwrap();
+    assert_eq!(loaded.graph.node_count(), direct.graph.node_count());
+    assert_eq!(loaded.graph.edge_count(), direct.graph.edge_count());
+}
+
+#[test]
+fn unknown_extension_without_magic_is_an_edge_list() {
+    let path = temp_dir().join("plain.edges");
+    std::fs::write(&path, "0 1\n1 2\n").unwrap();
+    let loaded = load_graph_auto(&path, &Recorder::disabled(), &Budget::unlimited()).unwrap();
+    assert_eq!(loaded.format, GraphFormat::EdgeList);
+    assert_eq!(loaded.graph.edge_count(), 2);
+}
+
+#[test]
+fn short_file_sniffs_as_text_not_an_error() {
+    // Shorter than the magic: sniffing must not fail, just fall through.
+    let path = temp_dir().join("tiny.pcg");
+    std::fs::write(&path, "1 0\n\n").unwrap();
+    let loaded = load_graph_auto(&path, &Recorder::disabled(), &Budget::unlimited()).unwrap();
+    assert_eq!(loaded.format, GraphFormat::Metis);
+    assert_eq!(loaded.graph.node_count(), 1);
+}
+
+#[test]
+fn relabeled_file_roundtrips_through_auto_loading() {
+    use parcom_graph::relabel::Relabeling;
+    let mut b = GraphBuilder::new(6);
+    for u in 0..5u32 {
+        b.add_unweighted_edge(u, u + 1);
+    }
+    b.add_unweighted_edge(0, 2);
+    b.add_unweighted_edge(0, 3);
+    let g = b.build();
+    let r = Relabeling::degree_ordered(&g);
+    let h = r.apply(&g);
+    let path = temp_dir().join("relabeled_auto.pcg");
+    write_pcg(&h, Some(&r), &path).unwrap();
+
+    let loaded = load_graph_auto(&path, &Recorder::disabled(), &Budget::unlimited()).unwrap();
+    assert_eq!(loaded.format, GraphFormat::PcgBinary);
+    let stored = loaded
+        .relabeling
+        .expect("relabeling must survive the roundtrip");
+    assert_eq!(stored.new_of_old(), r.new_of_old());
+    // The loaded graph is the relabeled view.
+    assert_eq!(loaded.graph.degree(0), g.degree(r.to_old_id(0)));
+}

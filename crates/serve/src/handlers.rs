@@ -16,9 +16,10 @@ use crate::http::{error_body, Request};
 use crate::store::{EdgeOp, GraphStore};
 use crate::ServeConfig;
 use parcom_core::DetectorSpec;
+use parcom_graph::relabel::Relabeling;
 use parcom_graph::Node;
 use parcom_guard::{Budget, CancelToken, Termination};
-use parcom_io::{load_graph_auto, read_metis_bytes_budgeted};
+use parcom_io::{load_graph_auto, read_metis_bytes_budgeted, GraphFormat};
 use parcom_obs::json::{self, Value};
 use parcom_obs::Recorder;
 use std::time::Duration;
@@ -84,8 +85,9 @@ fn list_graphs(store: &GraphStore) -> Reply {
         out.push_str("{\"name\":");
         json::write_str(&mut out, &name);
         out.push_str(&format!(
-            ",\"nodes\":{},\"edges\":{},\"pending\":{},\"generation\":{},\"rebuilds\":{}}}",
-            stats.nodes, stats.edges, stats.pending, stats.generation, stats.rebuilds
+            ",\"nodes\":{},\"edges\":{},\"pending\":{},\"generation\":{},\"rebuilds\":{},\"relabeled\":{}}}",
+            stats.nodes, stats.edges, stats.pending, stats.generation, stats.rebuilds,
+            stats.relabeled
         ));
     }
     out.push_str("]}");
@@ -109,34 +111,69 @@ fn load_graph(store: &GraphStore, cfg: &ServeConfig, name: &str, body: &[u8]) ->
     // graph is allocated — an oversized corpus is refused at a few bytes of
     // cost, not after filling memory.
     let budget = cfg.ingest_budget();
+    let recorder = Recorder::enabled();
     let loaded = match (v.get("path"), v.get("content")) {
         (Some(path), None) => match path.as_str() {
-            Some(path) => load_graph_auto(path, &Recorder::disabled(), &budget),
+            Some(path) => load_graph_auto(path, &recorder, &budget),
             None => return err(400, "\"path\" must be a string"),
         },
         (None, Some(content)) => match content.as_str() {
-            Some(text) => read_metis_bytes_budgeted(text.as_bytes(), &budget),
+            Some(text) => read_metis_bytes_budgeted(text.as_bytes(), &budget).map(|graph| {
+                parcom_io::LoadedGraph {
+                    graph,
+                    relabeling: None,
+                    format: GraphFormat::Metis,
+                }
+            }),
             None => return err(400, "\"content\" must be a METIS string"),
         },
         _ => return err(400, "body must have exactly one of \"path\" or \"content\""),
     };
-    let graph = match loaded {
-        Ok(g) => g,
+    let loaded = match loaded {
+        Ok(l) => l,
         Err(e) => {
             let message = e.to_string();
             let status = if message.contains("exceed") { 413 } else { 422 };
             return err(status, format!("load failed: {message}"));
         }
     };
+    // Ingest observability, surfaced to clients and asserted by CI's
+    // serve-smoke: wall time across the ingest phases (`ingest/load` for
+    // binary, `ingest/parse` + `ingest/build` for text) and bytes read.
+    let report = recorder.finish("ingest");
+    let load_ms: f64 = report.phases.iter().map(|p| p.wall_seconds).sum::<f64>() * 1e3;
+    let load_bytes: u64 = report
+        .phases
+        .iter()
+        .filter_map(|p| p.counter("bytes"))
+        .sum();
+
+    let (mut graph, mut relabeling) = (loaded.graph, loaded.relabeling);
+    // Optional load-time relabel: `{"relabel": true}` reorders the resident
+    // view hub-first (no-op when the file already stores a relabeled view).
+    match v.get("relabel").map(Value::as_bool) {
+        Some(Some(true)) => {
+            if relabeling.is_none() {
+                let r = Relabeling::degree_ordered(&graph);
+                graph = r.apply(&graph);
+                relabeling = Some(r);
+            }
+        }
+        Some(Some(false)) | None => {}
+        Some(None) => return err(400, "\"relabel\" must be a boolean"),
+    }
+
     let (nodes, edges) = (graph.node_count(), graph.edge_count());
-    let replaced = store.insert(name, graph);
+    let relabeled = relabeling.is_some();
+    let format = loaded.format.as_str();
+    let replaced = store.insert(name, graph, relabeling);
     let mut out = String::new();
     out.push_str("{\"schema\":");
     json::write_str(&mut out, SCHEMA);
     out.push_str(",\"name\":");
     json::write_str(&mut out, name);
     out.push_str(&format!(
-        ",\"nodes\":{nodes},\"edges\":{edges},\"replaced\":{replaced}}}"
+        ",\"nodes\":{nodes},\"edges\":{edges},\"replaced\":{replaced},\"format\":\"{format}\",\"load_ms\":{load_ms:.3},\"load_bytes\":{load_bytes},\"relabeled\":{relabeled}}}"
     ));
     (if replaced { 200 } else { 201 }, out)
 }
@@ -274,7 +311,7 @@ pub fn detect(store: &GraphStore, body: &[u8], token: CancelToken) -> Reply {
         .and_then(Value::as_bool)
         .unwrap_or(false);
 
-    let Some((graph, generation)) = store.snapshot(name) else {
+    let Some((graph, relabeling, generation)) = store.snapshot(name) else {
         return err(404, format!("no graph named `{name}`"));
     };
     let result = detector.detect_guarded(&graph, &budget);
@@ -300,8 +337,15 @@ pub fn detect(store: &GraphStore, body: &[u8], token: CancelToken) -> Reply {
     out.push_str(",\"report\":");
     out.push_str(&result.report.to_json());
     if include_partition {
+        // A relabeled resident view detects on permuted ids; clients sent
+        // the graph in original ids, so the partition is mapped back
+        // before emission (community ids and counts are unchanged).
+        let emitted = match &relabeling {
+            Some(r) => r.to_original(&result.partition),
+            None => result.partition,
+        };
         out.push_str(",\"partition\":[");
-        for (i, &c) in result.partition.as_slice().iter().enumerate() {
+        for (i, &c) in emitted.as_slice().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }

@@ -8,6 +8,7 @@
 //! when a client forces it, or — always — before a detection snapshot, so
 //! every detection sees all acknowledged edits.
 
+use parcom_graph::relabel::Relabeling;
 use parcom_graph::{Graph, GraphBuilder, Node};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -31,6 +32,11 @@ pub enum EdgeOp {
 /// A named resident graph plus its mutation buffer.
 pub struct GraphEntry {
     graph: Arc<Graph>,
+    /// When the resident CSR is a relabeled view (loaded from a `.pcg`
+    /// written with `--relabel`, or relabeled at load), the permutation
+    /// back to original ids. Detection handlers map partitions through it
+    /// before emission, so clients always see original ids.
+    relabeling: Option<Arc<Relabeling>>,
     pending: Vec<EdgeOp>,
     /// Bumped on every rebuild; lets clients correlate detection results
     /// with the graph version they ran against.
@@ -50,12 +56,15 @@ pub struct EntryStats {
     pub generation: u64,
     /// Total rebuilds since load.
     pub rebuilds: u64,
+    /// Whether the resident CSR is a relabeled (cache-ordered) view.
+    pub relabeled: bool,
 }
 
 impl GraphEntry {
-    fn new(graph: Graph) -> Self {
+    fn new(graph: Graph, relabeling: Option<Relabeling>) -> Self {
         Self {
             graph: Arc::new(graph),
+            relabeling: relabeling.map(Arc::new),
             pending: Vec::new(),
             generation: 0,
             rebuilds: 0,
@@ -104,6 +113,16 @@ impl GraphEntry {
             }
         }
         let mut edges = self.graph.par_collect_edges();
+        // Edge operations arrive in *original* ids, so a relabeled CSR is
+        // un-relabeled before the fold and the relabeling dropped: the
+        // permutation is a load-time read optimization, and a mutated graph
+        // no longer matches the degree order it was converted under.
+        if let Some(r) = self.relabeling.take() {
+            for e in edges.iter_mut() {
+                let (u, v) = (r.to_old_id(e.0), r.to_old_id(e.1));
+                (e.0, e.1) = (u.min(v), u.max(v));
+            }
+        }
         // replace or drop existing edges; whatever remains in `delta` after
         // this pass is a genuinely new edge
         edges.retain_mut(|(u, v, w)| match delta.remove(&(*u, *v)) {
@@ -127,9 +146,14 @@ impl GraphEntry {
         self.rebuilds += 1;
     }
 
-    /// The resident CSR (pending operations excluded), with its generation.
-    pub fn current(&self) -> (Arc<Graph>, u64) {
-        (Arc::clone(&self.graph), self.generation)
+    /// The resident CSR (pending operations excluded), its relabeling (if
+    /// still valid), and its generation.
+    pub fn current(&self) -> (Arc<Graph>, Option<Arc<Relabeling>>, u64) {
+        (
+            Arc::clone(&self.graph),
+            self.relabeling.clone(),
+            self.generation,
+        )
     }
 
     /// Listing summary.
@@ -140,6 +164,7 @@ impl GraphEntry {
             pending: self.pending.len(),
             generation: self.generation,
             rebuilds: self.rebuilds,
+            relabeled: self.relabeling.is_some(),
         }
     }
 }
@@ -159,15 +184,16 @@ impl GraphStore {
         Self::default()
     }
 
-    /// Inserts (or replaces) a named graph. Returns whether a previous
-    /// graph of that name was replaced.
-    pub fn insert(&self, name: &str, graph: Graph) -> bool {
+    /// Inserts (or replaces) a named graph, with the relabeling stored
+    /// alongside it when the graph is a relabeled view. Returns whether a
+    /// previous graph of that name was replaced.
+    pub fn insert(&self, name: &str, graph: Graph, relabeling: Option<Relabeling>) -> bool {
         self.inner
             .write()
             .unwrap()
             .insert(
                 name.to_string(),
-                Arc::new(Mutex::new(GraphEntry::new(graph))),
+                Arc::new(Mutex::new(GraphEntry::new(graph, relabeling))),
             )
             .is_some()
     }
@@ -185,10 +211,11 @@ impl GraphStore {
 
     /// A consistent detection snapshot: flushes the entry's pending buffer
     /// (so the detection sees all acknowledged edits) and returns the CSR
-    /// as a cheap `Arc` clone plus its generation. The entry lock is
-    /// released before detection starts — concurrent mutations build new
-    /// CSRs while old snapshots keep running.
-    pub fn snapshot(&self, name: &str) -> Option<(Arc<Graph>, u64)> {
+    /// as a cheap `Arc` clone plus its relabeling (when the view is still
+    /// relabeled) and generation. The entry lock is released before
+    /// detection starts — concurrent mutations build new CSRs while old
+    /// snapshots keep running.
+    pub fn snapshot(&self, name: &str) -> Option<(Arc<Graph>, Option<Arc<Relabeling>>, u64)> {
         let entry = self.get(name)?;
         let mut entry = entry.lock().unwrap();
         entry.rebuild();
@@ -232,7 +259,7 @@ mod tests {
     #[test]
     fn ops_apply_in_arrival_order() {
         let store = GraphStore::new();
-        store.insert("p", path_graph(4));
+        store.insert("p", path_graph(4), None);
         let entry = store.get("p").unwrap();
         {
             let mut e = entry.lock().unwrap();
@@ -245,7 +272,7 @@ mod tests {
             ]);
             e.rebuild();
         }
-        let (g, generation) = store.snapshot("p").unwrap();
+        let (g, _, generation) = store.snapshot("p").unwrap();
         assert_eq!(generation, 1);
         assert!(!g.has_edge(0, 3));
         assert_eq!(g.edge_weight(1, 2), Some(5.0));
@@ -254,13 +281,13 @@ mod tests {
     #[test]
     fn inserts_grow_the_node_range() {
         let store = GraphStore::new();
-        store.insert("p", path_graph(3));
+        store.insert("p", path_graph(3), None);
         let entry = store.get("p").unwrap();
         entry
             .lock()
             .unwrap()
             .buffer_ops([EdgeOp::Insert(2, 9, 2.0)]);
-        let (g, _) = store.snapshot("p").unwrap();
+        let (g, _, _) = store.snapshot("p").unwrap();
         assert_eq!(g.node_count(), 10);
         assert_eq!(g.edge_weight(2, 9), Some(2.0));
         assert!(g.has_edge(0, 1));
@@ -269,10 +296,10 @@ mod tests {
     #[test]
     fn snapshot_flushes_and_eviction_keeps_snapshots_alive() {
         let store = GraphStore::new();
-        store.insert("p", path_graph(5));
+        store.insert("p", path_graph(5), None);
         let entry = store.get("p").unwrap();
         entry.lock().unwrap().buffer_ops([EdgeOp::Remove(0, 1)]);
-        let (g, generation) = store.snapshot("p").unwrap();
+        let (g, _, generation) = store.snapshot("p").unwrap();
         assert_eq!(generation, 1);
         assert!(!g.has_edge(0, 1));
         assert!(store.remove("p"));
@@ -282,15 +309,43 @@ mod tests {
     }
 
     #[test]
+    fn mutation_unrelabels_and_drops_the_relabeling() {
+        // A star so the degree order is not the identity: hub 3 gets new id 0.
+        let g = GraphBuilder::from_edges(5, &[(3, 0), (3, 1), (3, 2), (3, 4), (0, 1)]);
+        let r = Relabeling::degree_ordered(&g);
+        let relabeled = r.apply(&g);
+        let store = GraphStore::new();
+        store.insert("s", relabeled, Some(r));
+        let (_, rel, _) = store.snapshot("s").unwrap();
+        assert!(rel.is_some(), "unmutated snapshot keeps the relabeling");
+        assert!(store.get("s").unwrap().lock().unwrap().stats().relabeled);
+
+        // Ops arrive in original ids: connect 2-4 and drop the 0-1 chord.
+        let entry = store.get("s").unwrap();
+        entry
+            .lock()
+            .unwrap()
+            .buffer_ops([EdgeOp::Insert(2, 4, 2.0), EdgeOp::Remove(0, 1)]);
+        let (g2, rel, generation) = store.snapshot("s").unwrap();
+        assert_eq!(generation, 1);
+        assert!(rel.is_none(), "mutation invalidates the relabeling");
+        // The rebuilt CSR is back in original ids.
+        assert_eq!(g2.edge_weight(2, 4), Some(2.0));
+        assert!(!g2.has_edge(0, 1));
+        assert!(g2.has_edge(3, 0));
+        assert_eq!(g2.degree(3), 4);
+    }
+
+    #[test]
     fn weight_overwrite_replaces_instead_of_accumulating() {
         let store = GraphStore::new();
-        store.insert("p", path_graph(3));
+        store.insert("p", path_graph(3), None);
         let entry = store.get("p").unwrap();
         entry
             .lock()
             .unwrap()
             .buffer_ops([EdgeOp::Insert(0, 1, 7.5)]);
-        let (g, _) = store.snapshot("p").unwrap();
+        let (g, _, _) = store.snapshot("p").unwrap();
         assert_eq!(g.edge_weight(0, 1), Some(7.5));
         assert_eq!(g.edge_count(), 2);
     }
