@@ -215,16 +215,23 @@ pub const ORDERING_ALLOWED: &[&str] = &[
 
 /// Files in which `unsafe` is permitted. The workspace carries
 /// `#![forbid(unsafe_code)]` in every crate root (parcom-io downgrades to
-/// `deny` only under its `mmap` feature), and this lint keeps the list of
-/// exceptions in one reviewable place: exactly the feature-gated mapping
-/// module of the binary graph reopen path (DESIGN.md §15).
-pub const UNSAFE_ALLOWED: &[&str] = &["crates/io/src/mmap.rs"];
+/// `deny` only under its `mmap` feature, parcom-serve under `signals`),
+/// and this lint keeps the list of exceptions in one reviewable place:
+/// the feature-gated mapping module of the binary graph reopen path
+/// (DESIGN.md §15) and the daemon's signal-capture shim for graceful
+/// shutdown (DESIGN.md §16).
+pub const UNSAFE_ALLOWED: &[&str] = &["crates/io/src/mmap.rs", "crates/serve/src/signal.rs"];
 
 /// True when a path (normalized to `/` separators) ends in one of the
-/// allowlisted suffixes.
+/// allowlisted suffixes — or when an allowlist entry ends in the path,
+/// which happens when the scan is rooted inside the crate (auditing
+/// `crates/serve` reports `src/signal.rs`, a suffix of the workspace
+/// entry `crates/serve/src/signal.rs`).
 pub fn path_allowed(path: &str, allowlist: &[&str]) -> bool {
     let normalized = path.replace('\\', "/");
-    allowlist.iter().any(|suffix| normalized.ends_with(suffix))
+    allowlist
+        .iter()
+        .any(|suffix| normalized.ends_with(suffix) || suffix.ends_with(normalized.as_str()))
 }
 
 /// The per-file slice of a scan: violations, marker usage, per-rule
@@ -421,6 +428,19 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::R
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn path_allowlist_matches_workspace_and_crate_rooted_scans() {
+        // Scanned from the workspace root: the full relative path.
+        assert!(path_allowed("crates/serve/src/signal.rs", UNSAFE_ALLOWED));
+        // Scanned from inside the crate (`parcom-audit -- crates/serve`):
+        // the path is relative to the crate, a suffix of the entry.
+        assert!(path_allowed("src/signal.rs", UNSAFE_ALLOWED));
+        assert!(path_allowed("src/mmap.rs", UNSAFE_ALLOWED));
+        // Unrelated files stay disallowed either way.
+        assert!(!path_allowed("crates/serve/src/wal.rs", UNSAFE_ALLOWED));
+        assert!(!path_allowed("src/lib.rs", UNSAFE_ALLOWED));
+    }
 
     #[test]
     fn budget_check_tracks_fn_signatures_and_loop_shape() {

@@ -14,8 +14,11 @@
 //! comparison (DESIGN.md §15): parallel METIS text parse vs `.pcg` binary
 //! reopen on the ~1M-edge instance, plus the cache effect of degree-ordered
 //! relabeling on the hot kernels (tally pass, PLP, PLM) for the skewed
-//! instances. Results go to `BENCH_kernels.json` (schema
-//! `parcom-bench-kernels/v5`) together with each run's structured
+//! instances, and a durability comparison (DESIGN.md §16): WAL append
+//! overhead per mutation batch under both fsync policies plus warm
+//! recovery (checkpoint reopen + log replay) against the cold text
+//! reload. Results go to `BENCH_kernels.json` (schema
+//! `parcom-bench-kernels/v6`) together with each run's structured
 //! [`RunReport`]; a human-readable summary goes to stderr.
 //!
 //! Reproduce with:
@@ -41,7 +44,7 @@ use parcom_guard::Budget;
 use parcom_obs::{json, Recorder};
 
 /// Schema tag of the emitted JSON document.
-const SCHEMA: &str = "parcom-bench-kernels/v5";
+const SCHEMA: &str = "parcom-bench-kernels/v6";
 /// Seed of both instance generators and (offset by algorithm) the runs.
 const SEED: u64 = 42;
 /// Repetitions of each microkernel pass; the minimum is reported.
@@ -502,6 +505,122 @@ fn measure_memory_format(name: &str, g: &Graph, metis: &[u8]) -> MemoryFormatRes
     }
 }
 
+/// Durability costs on the ingest instance (DESIGN.md §16): the WAL
+/// append overhead a mutation batch pays before it is acknowledged, under
+/// both fsync policies, and the warm-restart recovery time (checkpoint
+/// reopen + log replay) against the cold text reload a volatile daemon
+/// pays after losing its memory.
+struct DurabilityResult {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    /// Operations per appended batch.
+    batch_ops: usize,
+    /// Batches appended (= WAL records replayed by recovery).
+    batches: usize,
+    /// Mean per-batch append cost with `--fsync always` (the default).
+    wal_append_always_ms: f64,
+    /// Mean per-batch append cost with `--fsync never`.
+    wal_append_never_ms: f64,
+    /// Warm restart: reopen the `.pcg` checkpoint + replay the log tail.
+    recovery_ms: f64,
+    /// Cold restart: reread + reparse the METIS text.
+    cold_reload_ms: f64,
+}
+
+fn measure_durability(name: &str, g: &Graph, metis: &[u8]) -> DurabilityResult {
+    use parcom_serve::persist::Durability;
+    use parcom_serve::store::{EdgeOp, GraphEntry, GraphStore};
+    use parcom_serve::wal::FsyncPolicy;
+
+    const BATCH_OPS: usize = 256;
+    const BATCHES: usize = 64;
+
+    let n = g.node_count() as u64;
+    let batch = |b: usize| -> Vec<EdgeOp> {
+        (0..BATCH_OPS)
+            .map(|i| {
+                let k = (b * BATCH_OPS + i) as u64;
+                let u = (k.wrapping_mul(2_654_435_761) % n) as u32;
+                let v = ((k.wrapping_mul(40_503) + 1) % n) as u32;
+                EdgeOp::Insert(u.min(v), u.max(v) + 1, 1.0 + (k % 7) as f64)
+            })
+            .collect()
+    };
+
+    // One daemon-equivalent state directory per fsync policy; the append
+    // loop is what a daemon does between a batch's arrival and its ack.
+    let mut append_ms = [0.0f64; 2];
+    let mut warm_dir = None;
+    for (slot, policy) in [(0, FsyncPolicy::Always), (1, FsyncPolicy::Never)] {
+        let dir = std::env::temp_dir().join(format!(
+            "parcom_baseline_dur_{}_{}",
+            std::process::id(),
+            policy.as_str()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let durability = Durability::open(&dir, policy).expect("opening the state dir failed");
+        let mut entry = GraphEntry::new(g.clone(), None);
+        durability
+            .persist_new(name, &mut entry)
+            .expect("persisting the bench graph failed");
+        let (_, t) = time(|| {
+            for b in 0..BATCHES {
+                entry
+                    .commit_ops(batch(b))
+                    .expect("WAL append failed in the bench loop");
+            }
+        });
+        append_ms[slot] = t.as_secs_f64() * 1e3 / BATCHES as f64;
+        if policy == FsyncPolicy::Always {
+            warm_dir = Some(dir); // recovery is measured on the synced dir
+        } else {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+    let warm_dir = warm_dir.expect("always-policy dir missing");
+
+    // Warm restart: exactly what `Server::run` does before turning ready.
+    let recovery_ms = min_ms(KERNEL_REPS, || {
+        let store = GraphStore::new();
+        let durability =
+            Durability::open(&warm_dir, FsyncPolicy::Always).expect("reopening state dir failed");
+        let report = durability.recover(&store).expect("recovery failed");
+        assert_eq!(report.graphs, 1, "bench graph did not recover");
+        assert_eq!(report.records_replayed, BATCHES, "wrong replay count");
+        assert_eq!(report.warm, 1, "recovery should take the warm path");
+    });
+
+    // Cold restart: the text path a stateless daemon pays to reload.
+    let metis_path =
+        std::env::temp_dir().join(format!("parcom_baseline_dur_{}.metis", std::process::id()));
+    std::fs::write(&metis_path, metis).expect("writing the METIS temp file failed");
+    let cold_reload_ms = min_ms(KERNEL_REPS, || {
+        let buf = std::fs::read(&metis_path).expect("metis read failed");
+        parcom_io::metis::read_metis_bytes(&buf).expect("metis parse failed")
+    });
+    std::fs::remove_file(&metis_path).ok();
+    std::fs::remove_dir_all(&warm_dir).ok();
+
+    eprintln!(
+        "[baseline]   durability: append {:.3} ms/batch synced ({:.3} ms unsynced, {BATCH_OPS} ops), warm recovery {recovery_ms:.1} ms vs cold reload {cold_reload_ms:.1} ms ({:.1}x)",
+        append_ms[0],
+        append_ms[1],
+        cold_reload_ms / recovery_ms.max(1e-9)
+    );
+    DurabilityResult {
+        name: name.to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        batch_ops: BATCH_OPS,
+        batches: BATCHES,
+        wal_append_always_ms: append_ms[0],
+        wal_append_never_ms: append_ms[1],
+        recovery_ms,
+        cold_reload_ms,
+    }
+}
+
 /// One move strategy's timings on one instance (DESIGN.md §14).
 struct StrategyResult {
     instance: String,
@@ -576,6 +695,26 @@ fn measure_move_strategies(name: &str, g: &Graph) -> Vec<StrategyResult> {
         });
     }
     results
+}
+
+fn write_durability(out: &mut String, r: &DurabilityResult) {
+    out.push_str("{\"name\":");
+    json::write_str(out, &r.name);
+    out.push_str(&format!(
+        ",\"nodes\":{},\"edges\":{},\"batch_ops\":{},\"batches\":{}",
+        r.nodes, r.edges, r.batch_ops, r.batches
+    ));
+    out.push_str(",\"wal_append_always_ms\":");
+    json::write_f64(out, r.wal_append_always_ms);
+    out.push_str(",\"wal_append_never_ms\":");
+    json::write_f64(out, r.wal_append_never_ms);
+    out.push_str(",\"recovery_ms\":");
+    json::write_f64(out, r.recovery_ms);
+    out.push_str(",\"cold_reload_ms\":");
+    json::write_f64(out, r.cold_reload_ms);
+    out.push_str(",\"warm_speedup\":");
+    json::write_f64(out, r.cold_reload_ms / r.recovery_ms.max(1e-9));
+    out.push('}');
 }
 
 fn write_strategy(out: &mut String, r: &StrategyResult) {
@@ -736,6 +875,7 @@ fn main() {
         .expect("rendering the ingest instance failed");
     let ingest = measure_ingest(ba_name, &ba_graph, &ba_metis);
     let serve = measure_serve(ba_name, &ba_graph, &ba_metis);
+    let durability = measure_durability(ba_name, &ba_graph, &ba_metis);
     let mut memory_format = measure_memory_format(ba_name, &ba_graph, &ba_metis);
     relabel_kernels(ba_name, &ba_graph, &mut memory_format.kernels);
     relabel_kernels("rmat_s15_ef16", &rmat_graph, &mut memory_format.kernels);
@@ -756,6 +896,8 @@ fn main() {
     write_ingest(&mut doc, &ingest);
     doc.push_str(",\"serve\":");
     write_serve(&mut doc, &serve);
+    doc.push_str(",\"durability\":");
+    write_durability(&mut doc, &durability);
     doc.push_str(",\"memory_format\":");
     write_memory_format(&mut doc, &memory_format);
     doc.push_str(",\"move_strategy\":[");

@@ -24,6 +24,9 @@
 //! | `--relabel` | detect, convert | degree-ordered (hub-first) node relabeling for cache locality (DESIGN.md §15): `convert` stores the reordered view plus its permutation in the `.pcg`; `detect` reorders at load. Per-node output is always mapped back to original ids |
 //! | `--out FILE` | generate, detect, cg, convert | output file (`convert` writes `parcom-graph-bin/v1`) |
 //! | `--socket PATH` / `--listen ADDR` | serve | where the resident daemon listens (Unix socket path / TCP address) |
+//! | `--state-dir DIR` | serve | crash-safe state directory (DESIGN.md §16): per-graph write-ahead logs + `.pcg` checkpoints, replayed on boot; omit to run volatile |
+//! | `--fsync always\|never` | serve | WAL durability: `always` (default) fsyncs each record before acknowledging, surviving power loss; `never` rides the page cache, surviving only process crashes |
+//! | `--max-detects N` | serve | cap concurrent detections; excess requests are shed with `429 Retry-After` (0 = unlimited, default 4) |
 
 use std::collections::BTreeMap;
 

@@ -354,11 +354,18 @@ pub fn compare(args: &Args) -> CmdResult {
 pub fn serve(args: &Args) -> CmdResult {
     let max_nodes: usize = args.get_or("max-nodes", 0)?;
     let max_edges: usize = args.get_or("max-edges", 0)?;
+    let fsync = match args.get("fsync") {
+        Some(value) => parcom_serve::wal::FsyncPolicy::from_flag(value)?,
+        None => parcom_serve::wal::FsyncPolicy::Always,
+    };
     let config = parcom_serve::ServeConfig {
         socket: args.get("socket").map(std::path::PathBuf::from),
         addr: args.get("listen").map(String::from),
         max_nodes: if max_nodes > 0 { max_nodes } else { usize::MAX },
         max_edges: if max_edges > 0 { max_edges } else { usize::MAX },
+        state_dir: args.get("state-dir").map(std::path::PathBuf::from),
+        fsync,
+        max_detects: args.get_or("max-detects", parcom_serve::DEFAULT_MAX_DETECTS)?,
     };
     let server = parcom_serve::Server::bind(config)?;
     match (args.get("socket"), args.get("listen")) {
@@ -366,6 +373,12 @@ pub fn serve(args: &Args) -> CmdResult {
         (Some(path), None) => eprintln!("parcom-serve listening on {path}"),
         (None, Some(addr)) => eprintln!("parcom-serve listening on {addr}"),
         (None, None) => {}
+    }
+    if let Some(dir) = args.get("state-dir") {
+        eprintln!(
+            "parcom-serve durable state in {dir} (fsync {})",
+            fsync.as_str()
+        );
     }
     server.run()?;
     Ok(())

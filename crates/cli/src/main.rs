@@ -64,6 +64,7 @@ fn print_usage() {
          \x20 compare  --a PARTITION --b PARTITION\n\
          \x20 cg       --input FILE --partition FILE --out FILE.dot\n\
          \x20 serve    [--socket PATH] [--listen ADDR] [--max-nodes N] [--max-edges M]\n\
+         \x20          [--state-dir DIR] [--fsync always|never] [--max-detects N]\n\
          \n\
          graph files: .pcg (parcom binary, sniffed by magic), .metis/.graph (METIS),\n\
          anything else (edge list). `convert` writes .pcg for instant reopen;\n\

@@ -29,7 +29,12 @@
 //! targets `u32×adj`, `3` edge weights `f64×adj` (omitted when every
 //! weight is 1), `4` weighted degrees `f64×n`, `5` self-loop weights
 //! `f64×n`, `6` relabeling permutation `u32×n` (`new_of_old`; present iff
-//! flag bit 0 is set — see [`parcom_graph::relabel`]).
+//! flag bit 0 is set — see [`parcom_graph::relabel`]), `7` WAL sequence
+//! `u64` (daemon checkpoints only: the last write-ahead-log record folded
+//! into this snapshot, so recovery knows where replay resumes; absent in
+//! files written by `parcom convert`). Unknown section ids are carried in
+//! the table and checksummed but otherwise ignored, so readers of this
+//! version skip sections a future writer might add.
 //!
 //! The magic follows the PNG convention: a high bit to catch 7-bit
 //! transmission damage, `\r\n` to catch newline translation, `\x1a` to
@@ -63,6 +68,7 @@ const SEC_WEIGHTS: u32 = 3;
 const SEC_WDEG: u32 = 4;
 const SEC_SLOOP: u32 = 5;
 const SEC_PERM: u32 = 6;
+const SEC_WALSEQ: u32 = 7;
 
 /// Size of the fixed header head, before the section table.
 const HEAD_LEN: usize = 64;
@@ -80,6 +86,10 @@ pub struct PcgGraph {
     pub graph: Graph,
     /// Permutation mapping original ids to the graph's ids, if any.
     pub relabeling: Option<Relabeling>,
+    /// For daemon checkpoints: the last WAL sequence number folded into
+    /// this snapshot (recovery replays records strictly after it). `None`
+    /// for files written without a WAL context (e.g. `parcom convert`).
+    pub wal_seq: Option<u64>,
 }
 
 /// True if `bytes` starts with the `.pcg` magic — the sniff
@@ -100,6 +110,13 @@ const LANE_KEYS: [u64; 4] = [
     0x1656_67b1_9e37_79f9,
     0x27d4_eb2f_1656_67c5,
 ];
+
+/// The format's corruption checksum, exported for the daemon's write-ahead
+/// log so `.pcg` checkpoints and WAL records are verified by one reviewed
+/// routine (DESIGN.md §16).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    checksum(bytes)
+}
 
 fn checksum(bytes: &[u8]) -> u64 {
     let mut lanes = LANE_KEYS;
@@ -203,6 +220,17 @@ fn rd_u64(b: &[u8], off: usize) -> u64 {
 /// Serializes `g` (and its relabeling, if it is a relabeled view) in
 /// `parcom-graph-bin/v1` form.
 pub fn pcg_bytes(g: &Graph, relabeling: Option<&Relabeling>) -> Result<Vec<u8>, IoError> {
+    pcg_bytes_with_wal_seq(g, relabeling, None)
+}
+
+/// [`pcg_bytes`] with a WAL sequence section — the daemon checkpoint
+/// writer: `wal_seq` records the last log record this snapshot covers, so
+/// recovery replays exactly the tail written after it.
+pub fn pcg_bytes_with_wal_seq(
+    g: &Graph,
+    relabeling: Option<&Relabeling>,
+    wal_seq: Option<u64>,
+) -> Result<Vec<u8>, IoError> {
     let view = g.csr_view();
     let n = g.node_count();
     if let Some(r) = relabeling {
@@ -225,6 +253,9 @@ pub fn pcg_bytes(g: &Graph, relabeling: Option<&Relabeling>) -> Result<Vec<u8>, 
     sections.push((SEC_SLOOP, le_f64s(view.self_loops)));
     if let Some(r) = relabeling {
         sections.push((SEC_PERM, le_u32s(r.new_of_old())));
+    }
+    if let Some(seq) = wal_seq {
+        sections.push((SEC_WALSEQ, seq.to_le_bytes().to_vec()));
     }
 
     let count = sections.len();
@@ -450,6 +481,11 @@ pub fn read_pcg_bytes_budgeted(bytes: &[u8], budget: &Budget) -> Result<PcgGraph
         None
     };
 
+    let wal_seq = match section(SEC_WALSEQ) {
+        Some(_) => Some(rd_u64(sized(SEC_WALSEQ, "wal-seq", 8)?, 0)),
+        None => None,
+    };
+
     let graph = Graph::from_cached_parts(CsrParts {
         offsets,
         targets,
@@ -461,7 +497,11 @@ pub fn read_pcg_bytes_budgeted(bytes: &[u8], budget: &Budget) -> Result<PcgGraph
     })
     .map_err(|e| IoError::parse(format!("inconsistent graph data: {e}")))?;
 
-    Ok(PcgGraph { graph, relabeling })
+    Ok(PcgGraph {
+        graph,
+        relabeling,
+        wal_seq,
+    })
 }
 
 /// Reads a binary graph from `path` under a [`Budget`], recording an
@@ -564,6 +604,19 @@ mod tests {
         let lr = loaded.relabeling.unwrap();
         assert_eq!(lr.new_of_old(), r.new_of_old());
         assert_eq!(lr.old_of_new(), r.old_of_new());
+    }
+
+    #[test]
+    fn roundtrip_wal_seq_section() {
+        let g = sample(true);
+        let bytes = pcg_bytes_with_wal_seq(&g, None, Some(417)).unwrap();
+        let loaded = read_pcg_bytes_budgeted(&bytes, &Budget::unlimited()).unwrap();
+        assert_same_graph(&g, &loaded.graph);
+        assert_eq!(loaded.wal_seq, Some(417));
+        // Files written without a WAL context read back as None.
+        let plain = pcg_bytes(&g, None).unwrap();
+        let loaded = read_pcg_bytes_budgeted(&plain, &Budget::unlimited()).unwrap();
+        assert_eq!(loaded.wal_seq, None);
     }
 
     #[test]

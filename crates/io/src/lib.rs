@@ -40,6 +40,7 @@
 
 pub mod binfmt;
 pub(crate) mod chunk;
+pub mod corpus;
 pub mod dot;
 pub mod edgelist;
 pub mod gml;
@@ -49,6 +50,7 @@ pub mod mmap;
 pub mod partition_io;
 
 pub use binfmt::{read_pcg_budgeted, write_pcg, PcgGraph};
+pub use corpus::{scan_corpus, state_paths, CorpusEntry, StatePaths};
 pub use dot::write_community_graph_dot;
 pub use edgelist::{read_edge_list, read_edge_list_recorded, write_edge_list};
 pub use gml::{write_gml, write_gml_to};

@@ -1,0 +1,68 @@
+//! Crash-test harness for the durability kill matrix.
+//!
+//! Boots a durable daemon from environment variables (so the integration
+//! test can spawn it as a real OS process via `CARGO_BIN_EXE_*`), arms an
+//! optional fault site, and — crucially — converts any panic into
+//! `process::abort()`. An armed fault therefore kills the process at the
+//! exact instruction boundary of the faultpoint with no unwinding, no
+//! destructors, and no buffered-write flushing: the closest a test can
+//! get to `kill -9` at a chosen line of code.
+//!
+//! Environment:
+//!
+//! * `PARCOM_HARNESS_SOCKET`     — Unix socket path to listen on (required)
+//! * `PARCOM_HARNESS_STATE_DIR`  — durable state directory (required)
+//! * `PARCOM_HARNESS_FSYNC`      — `always` (default) or `never`
+//! * `PARCOM_FAULT`              — `site:k`, panic at the k-th crossing
+//!   (1-based); requires the `fault-inject` feature, ignored without it.
+
+use parcom_serve::wal::FsyncPolicy;
+use parcom_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+
+fn required(name: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| panic!("{name} must be set"))
+}
+
+fn main() {
+    // A panic anywhere — injected fault or genuine bug — must look like a
+    // power cut, not a tidy exit. Abort without unwinding.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("crash_harness aborting on panic: {info}");
+        std::process::abort();
+    }));
+
+    if let Ok(spec) = std::env::var("PARCOM_FAULT") {
+        arm_fault(&spec);
+    }
+
+    let fsync = match std::env::var("PARCOM_HARNESS_FSYNC") {
+        Ok(flag) => FsyncPolicy::from_flag(&flag).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => FsyncPolicy::Always,
+    };
+    let config = ServeConfig {
+        socket: Some(PathBuf::from(required("PARCOM_HARNESS_SOCKET"))),
+        state_dir: Some(PathBuf::from(required("PARCOM_HARNESS_STATE_DIR"))),
+        fsync,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("bind crash harness daemon");
+    server.run().expect("crash harness accept loop failed");
+}
+
+#[cfg(feature = "fault-inject")]
+fn arm_fault(spec: &str) {
+    use parcom_guard::fault::{FaultAction, FaultPlan};
+    let (site, k) = spec
+        .split_once(':')
+        .unwrap_or_else(|| panic!("PARCOM_FAULT must be `site:k`, got `{spec}`"));
+    let k: u64 = k
+        .parse()
+        .unwrap_or_else(|_| panic!("bad fault count in `{spec}`"));
+    FaultPlan::arm(site, k, FaultAction::Panic);
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn arm_fault(spec: &str) {
+    eprintln!("crash_harness built without fault-inject; ignoring PARCOM_FAULT={spec}");
+}

@@ -1,0 +1,196 @@
+//! The admission gate: bounded concurrency and lifecycle state for the
+//! daemon (DESIGN.md §16).
+//!
+//! Three independent concerns share one small struct because the request
+//! path consults them together, in order:
+//!
+//! 1. **Readiness** — until crash recovery has finished replaying the
+//!    state directory, every route except `GET /healthz` answers `503`
+//!    with `Retry-After`. `GET /readyz` flips to `200` the moment the
+//!    store reflects all acknowledged pre-crash state.
+//! 2. **Draining** — after SIGTERM the daemon stops admitting new
+//!    requests (`503`) while in-flight ones run to completion, then
+//!    flushes WALs and checkpoints before exiting.
+//! 3. **Detect admission** — at most `max_detects` detections run
+//!    concurrently; excess requests are shed with `429` instead of piling
+//!    threads onto an already-saturated machine. (The other half of
+//!    overload shedding — the per-graph mutation queue depth — lives in
+//!    [`crate::store::MAX_PENDING_OPS`].)
+//!
+//! Counters are plain atomics with RAII permits; a permit dropped on a
+//! panicking thread still decrements, so a crashed request can never leak
+//! a slot.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared admission state. Constructed not-ready; recovery (or the
+/// absence of a state dir) calls [`Gate::set_ready`].
+pub struct Gate {
+    ready: AtomicBool,
+    draining: AtomicBool,
+    inflight: AtomicUsize,
+    detects: AtomicUsize,
+    max_detects: usize,
+}
+
+impl Gate {
+    /// A gate admitting at most `max_detects` concurrent detections
+    /// (`0` = unlimited).
+    pub fn new(max_detects: usize) -> Self {
+        Self {
+            ready: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            detects: AtomicUsize::new(0),
+            max_detects,
+        }
+    }
+
+    /// Marks recovery complete: `/readyz` turns `200` and requests are
+    /// admitted. Release pairs with the Acquire in [`Gate::is_ready`] so a
+    /// request thread that observes readiness also observes every store
+    /// insert recovery performed.
+    pub fn set_ready(&self) {
+        self.ready.store(true, Ordering::Release); // audit:allow(atomic-ordering)
+    }
+
+    /// Whether recovery has completed.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire) // audit:allow(atomic-ordering)
+    }
+
+    /// Enters drain mode: new requests are refused, in-flight ones keep
+    /// running. One-way; there is no undrain.
+    pub fn start_drain(&self) {
+        self.draining.store(true, Ordering::Release); // audit:allow(atomic-ordering)
+    }
+
+    /// Whether the daemon is draining for shutdown.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire) // audit:allow(atomic-ordering)
+    }
+
+    /// Requests currently being served (health probes excluded).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire) // audit:allow(atomic-ordering)
+    }
+
+    /// Configured detect-concurrency cap (`0` = unlimited).
+    pub fn max_detects(&self) -> usize {
+        self.max_detects
+    }
+
+    /// Detections currently running.
+    pub fn detects(&self) -> usize {
+        self.detects.load(Ordering::Acquire) // audit:allow(atomic-ordering)
+    }
+
+    /// Admits one request unless draining. The permit's drop releases the
+    /// slot; hold it across the whole handler.
+    pub fn enter_request(self: &Arc<Self>) -> Option<RequestPermit> {
+        if self.is_draining() {
+            return None;
+        }
+        self.inflight.fetch_add(1, Ordering::AcqRel); // audit:allow(atomic-ordering)
+                                                      // A drain that started between the check and the increment still
+                                                      // sees this request in `inflight` and waits for it: admission may
+                                                      // race the flag, completion accounting never does.
+        Some(RequestPermit(Arc::clone(self)))
+    }
+
+    /// Admits one detection unless the cap is reached. Compare-and-swap so
+    /// concurrent arrivals cannot overshoot the cap.
+    pub fn enter_detect(self: &Arc<Self>) -> Option<DetectPermit> {
+        if self.max_detects == 0 {
+            self.detects.fetch_add(1, Ordering::AcqRel); // audit:allow(atomic-ordering)
+            return Some(DetectPermit(Arc::clone(self)));
+        }
+        let mut current = self.detects.load(Ordering::Acquire); // audit:allow(atomic-ordering)
+        loop {
+            if current >= self.max_detects {
+                return None;
+            }
+            match self.detects.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,  // audit:allow(atomic-ordering)
+                Ordering::Acquire, // audit:allow(atomic-ordering)
+            ) {
+                Ok(_) => return Some(DetectPermit(Arc::clone(self))),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// RAII in-flight marker; dropping it (normally or by unwind) releases
+/// the request slot.
+pub struct RequestPermit(Arc<Gate>);
+
+impl Drop for RequestPermit {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel); // audit:allow(atomic-ordering)
+    }
+}
+
+/// RAII detect-concurrency marker.
+pub struct DetectPermit(Arc<Gate>);
+
+impl Drop for DetectPermit {
+    fn drop(&mut self) {
+        self.0.detects.fetch_sub(1, Ordering::AcqRel); // audit:allow(atomic-ordering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_flags_start_cold() {
+        let gate = Arc::new(Gate::new(2));
+        assert!(!gate.is_ready());
+        assert!(!gate.is_draining());
+        gate.set_ready();
+        assert!(gate.is_ready());
+        gate.start_drain();
+        assert!(gate.is_draining());
+        assert!(gate.enter_request().is_none(), "draining refuses admission");
+    }
+
+    #[test]
+    fn detect_cap_is_exact_and_released_on_drop() {
+        let gate = Arc::new(Gate::new(2));
+        let a = gate.enter_detect().unwrap();
+        let _b = gate.enter_detect().unwrap();
+        assert!(gate.enter_detect().is_none(), "third detect is shed");
+        drop(a);
+        assert!(gate.enter_detect().is_some(), "slot frees on drop");
+    }
+
+    #[test]
+    fn request_permits_track_inflight_even_on_unwind() {
+        let gate = Arc::new(Gate::new(0));
+        let permit = gate.enter_request().unwrap();
+        assert_eq!(gate.inflight(), 1);
+        let gate2 = Arc::clone(&gate);
+        let r = std::panic::catch_unwind(move || {
+            let _inner = gate2.enter_request().unwrap();
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        assert_eq!(gate.inflight(), 1, "unwound permit released its slot");
+        drop(permit);
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn zero_cap_means_unlimited_detects() {
+        let gate = Arc::new(Gate::new(0));
+        let permits: Vec<_> = (0..64).map(|_| gate.enter_detect().unwrap()).collect();
+        assert_eq!(gate.detects(), 64);
+        drop(permits);
+        assert_eq!(gate.detects(), 0);
+    }
+}

@@ -1,20 +1,23 @@
 //! Route handlers: the JSON API over the resident [`GraphStore`].
 //!
-//! | method | path                  | action                              |
-//! |--------|-----------------------|-------------------------------------|
-//! | GET    | `/healthz`            | liveness + resident-graph count     |
-//! | GET    | `/graphs`             | list resident graphs                |
-//! | PUT    | `/graphs/{name}`      | load a graph (by path or inline)    |
-//! | DELETE | `/graphs/{name}`      | evict a graph                       |
-//! | POST   | `/graphs/{name}/edges`| buffer edge inserts/removes         |
-//! | POST   | `/detect`             | run a [`DetectorSpec`] under budget |
+//! | method | path                        | action                              |
+//! |--------|-----------------------------|-------------------------------------|
+//! | GET    | `/healthz`                  | liveness + resident-graph count     |
+//! | GET    | `/readyz`                   | `200` once recovery is complete     |
+//! | GET    | `/graphs`                   | list resident graphs                |
+//! | PUT    | `/graphs/{name}`            | load a graph (by path or inline)    |
+//! | DELETE | `/graphs/{name}`            | evict a graph                       |
+//! | POST   | `/graphs/{name}/edges`      | WAL-append + buffer edge mutations  |
+//! | POST   | `/graphs/{name}/checkpoint` | force a checkpoint era              |
+//! | POST   | `/detect`                   | run a [`DetectorSpec`] under budget |
 //!
 //! Every handler returns `(status, body)`; the connection layer decides the
 //! framing (plain for the small responses, chunked for `/detect`).
 
 use crate::http::{error_body, Request};
-use crate::store::{EdgeOp, GraphStore};
-use crate::ServeConfig;
+use crate::persist::CHECKPOINT_OPS;
+use crate::store::{lock_entry, EdgeOp, GraphStore, MAX_PENDING_OPS};
+use crate::ServerCtx;
 use parcom_core::DetectorSpec;
 use parcom_graph::relabel::Relabeling;
 use parcom_graph::Node;
@@ -49,28 +52,52 @@ fn valid_name(name: &str) -> bool {
 
 /// Dispatches every route except `/detect` (which the connection layer
 /// routes separately so it can wire up the disconnect watcher first).
-pub fn handle(store: &GraphStore, cfg: &ServeConfig, req: &Request) -> Reply {
+pub fn handle(ctx: &ServerCtx, req: &Request) -> Reply {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => healthz(store),
-        ("GET", ["graphs"]) => list_graphs(store),
-        ("PUT", ["graphs", name]) => load_graph(store, cfg, name, &req.body),
-        ("DELETE", ["graphs", name]) => evict_graph(store, name),
-        ("POST", ["graphs", name, "edges"]) => edge_batch(store, name, &req.body),
+        ("GET", ["healthz"]) => healthz(ctx),
+        ("GET", ["readyz"]) => readyz(ctx),
+        ("GET", ["graphs"]) => list_graphs(&ctx.store),
+        ("PUT", ["graphs", name]) => load_graph(ctx, name, &req.body),
+        ("DELETE", ["graphs", name]) => evict_graph(ctx, name),
+        ("POST", ["graphs", name, "edges"]) => edge_batch(ctx, name, &req.body),
+        ("POST", ["graphs", name, "checkpoint"]) => checkpoint_graph(ctx, name),
         ("POST", ["detect"]) => err(400, "POST /detect must go through the streaming path"),
-        (_, ["healthz" | "graphs" | "detect", ..]) => err(405, "method not allowed"),
+        (_, ["healthz" | "readyz" | "graphs" | "detect", ..]) => err(405, "method not allowed"),
         _ => err(404, format!("no route for {} {}", req.method, req.path)),
     }
 }
 
-fn healthz(store: &GraphStore) -> Reply {
+/// Liveness: always `200` while the process can answer at all, even
+/// during recovery or drain — orchestration uses `/readyz` for routing.
+fn healthz(ctx: &ServerCtx) -> Reply {
     let mut out = String::new();
     out.push_str("{\"schema\":");
     json::write_str(&mut out, SCHEMA);
-    out.push_str(",\"status\":\"ok\",\"graphs\":");
-    out.push_str(&store.len().to_string());
-    out.push('}');
+    out.push_str(&format!(
+        ",\"status\":\"ok\",\"graphs\":{},\"ready\":{},\"draining\":{},\"durable\":{}}}",
+        ctx.store.len(),
+        ctx.gate.is_ready(),
+        ctx.gate.is_draining(),
+        ctx.durability.is_some()
+    ));
     (200, out)
+}
+
+/// Readiness: `200` once crash recovery has finished (and the daemon is
+/// not draining), `503` otherwise — the gate the durability smoke test
+/// and load balancers poll after a restart.
+fn readyz(ctx: &ServerCtx) -> Reply {
+    let ready = ctx.gate.is_ready() && !ctx.gate.is_draining();
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    json::write_str(&mut out, SCHEMA);
+    out.push_str(&format!(
+        ",\"ready\":{ready},\"draining\":{},\"graphs\":{}}}",
+        ctx.gate.is_draining(),
+        ctx.store.len()
+    ));
+    (if ready { 200 } else { 503 }, out)
 }
 
 fn list_graphs(store: &GraphStore) -> Reply {
@@ -85,9 +112,9 @@ fn list_graphs(store: &GraphStore) -> Reply {
         out.push_str("{\"name\":");
         json::write_str(&mut out, &name);
         out.push_str(&format!(
-            ",\"nodes\":{},\"edges\":{},\"pending\":{},\"generation\":{},\"rebuilds\":{},\"relabeled\":{}}}",
+            ",\"nodes\":{},\"edges\":{},\"pending\":{},\"generation\":{},\"rebuilds\":{},\"relabeled\":{},\"relabel_dropped\":{},\"seq\":{},\"durable\":{}}}",
             stats.nodes, stats.edges, stats.pending, stats.generation, stats.rebuilds,
-            stats.relabeled
+            stats.relabeled, stats.relabel_dropped, stats.seq, stats.durable
         ));
     }
     out.push_str("]}");
@@ -99,7 +126,7 @@ fn parse_body(body: &[u8]) -> Result<Value, Reply> {
     json::parse(text).map_err(|e| err(400, format!("bad JSON body: {e}")))
 }
 
-fn load_graph(store: &GraphStore, cfg: &ServeConfig, name: &str, body: &[u8]) -> Reply {
+fn load_graph(ctx: &ServerCtx, name: &str, body: &[u8]) -> Reply {
     if !valid_name(name) {
         return err(400, "graph names are 1-64 chars of [A-Za-z0-9._-]");
     }
@@ -110,7 +137,7 @@ fn load_graph(store: &GraphStore, cfg: &ServeConfig, name: &str, body: &[u8]) ->
     // Header admission happens inside the budgeted readers, before the
     // graph is allocated — an oversized corpus is refused at a few bytes of
     // cost, not after filling memory.
-    let budget = cfg.ingest_budget();
+    let budget = ctx.config.ingest_budget();
     let recorder = Recorder::enabled();
     let loaded = match (v.get("path"), v.get("content")) {
         (Some(path), None) => match path.as_str() {
@@ -166,24 +193,73 @@ fn load_graph(store: &GraphStore, cfg: &ServeConfig, name: &str, body: &[u8]) ->
     let (nodes, edges) = (graph.node_count(), graph.edge_count());
     let relabeled = relabeling.is_some();
     let format = loaded.format.as_str();
-    let replaced = store.insert(name, graph, relabeling);
+    // Durable mode persists the entry (checkpoint + fresh WAL) *before*
+    // it becomes visible in the store, so no acknowledged graph can exist
+    // in memory without its on-disk state set.
+    let mut entry = crate::store::GraphEntry::new(graph, relabeling);
+    let durable = if let Some(durability) = &ctx.durability {
+        if let Err(e) = durability.persist_new(name, &mut entry) {
+            return err(500, format!("could not persist `{name}`: {e}"));
+        }
+        true
+    } else {
+        false
+    };
+    let replaced = ctx.store.insert_entry(name, entry);
     let mut out = String::new();
     out.push_str("{\"schema\":");
     json::write_str(&mut out, SCHEMA);
     out.push_str(",\"name\":");
     json::write_str(&mut out, name);
     out.push_str(&format!(
-        ",\"nodes\":{nodes},\"edges\":{edges},\"replaced\":{replaced},\"format\":\"{format}\",\"load_ms\":{load_ms:.3},\"load_bytes\":{load_bytes},\"relabeled\":{relabeled}}}"
+        ",\"nodes\":{nodes},\"edges\":{edges},\"replaced\":{replaced},\"format\":\"{format}\",\"load_ms\":{load_ms:.3},\"load_bytes\":{load_bytes},\"relabeled\":{relabeled},\"durable\":{durable}}}"
     ));
     (if replaced { 200 } else { 201 }, out)
 }
 
-fn evict_graph(store: &GraphStore, name: &str) -> Reply {
-    if store.remove(name) {
+fn evict_graph(ctx: &ServerCtx, name: &str) -> Reply {
+    if ctx.store.remove(name) {
+        if let Some(durability) = &ctx.durability {
+            if let Err(e) = durability.remove(name) {
+                return err(
+                    500,
+                    format!("evicted `{name}` but state removal failed: {e}"),
+                );
+            }
+        }
         (200, format!("{{\"schema\":\"{SCHEMA}\",\"evicted\":true}}"))
     } else {
         err(404, format!("no graph named `{name}`"))
     }
+}
+
+/// Forces a checkpoint era for one graph: folds the pending buffer,
+/// snapshots to `.pcg`, truncates the WAL. `409` without `--state-dir`.
+fn checkpoint_graph(ctx: &ServerCtx, name: &str) -> Reply {
+    let Some(durability) = &ctx.durability else {
+        return err(
+            409,
+            "daemon runs without --state-dir; nothing to checkpoint",
+        );
+    };
+    let Some(entry) = ctx.store.get(name) else {
+        return err(404, format!("no graph named `{name}`"));
+    };
+    let mut entry = lock_entry(&entry);
+    if let Err(e) = durability.checkpoint(name, &mut entry) {
+        return err(500, format!("checkpoint of `{name}` failed: {e}"));
+    }
+    let stats = entry.stats();
+    drop(entry);
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    json::write_str(&mut out, SCHEMA);
+    out.push_str(&format!(
+        ",\"checkpointed\":true,\"seq\":{},\"generation\":{},\"nodes\":{},\"edges\":{},\"relabeled\":{},\"relabel_dropped\":{}}}",
+        stats.seq, stats.generation, stats.nodes, stats.edges, stats.relabeled,
+        stats.relabel_dropped
+    ));
+    (200, out)
 }
 
 fn node_id(v: &Value) -> Result<Node, Reply> {
@@ -197,8 +273,14 @@ fn node_id(v: &Value) -> Result<Node, Reply> {
 /// applies before the `remove` array. The rebuild is deferred until the
 /// buffer reaches [`crate::store::REBUILD_BATCH`] operations, the client
 /// passes `"rebuild":true`, or the next detection snapshot flushes it.
-fn edge_batch(store: &GraphStore, name: &str, body: &[u8]) -> Reply {
-    let Some(entry) = store.get(name) else {
+///
+/// Durable mode appends the batch to the graph's WAL (and, under
+/// `--fsync always`, syncs it) *before* this function returns `200` — an
+/// acknowledged batch survives `kill -9`. A batch that would push the
+/// pending buffer past [`MAX_PENDING_OPS`] is shed with `429` instead of
+/// queued unboundedly.
+fn edge_batch(ctx: &ServerCtx, name: &str, body: &[u8]) -> Reply {
+    let Some(entry) = ctx.store.get(name) else {
         return err(404, format!("no graph named `{name}`"));
     };
     let v = match parse_body(body) {
@@ -246,11 +328,39 @@ fn edge_batch(store: &GraphStore, name: &str, body: &[u8]) -> Reply {
         return err(400, "batch has no operations");
     }
     let force = v.get("rebuild").and_then(Value::as_bool).unwrap_or(false);
-    let mut entry = entry.lock().unwrap();
-    let pending = entry.buffer_ops(ops);
+    let batch = ops.len();
+    let mut entry = lock_entry(&entry);
+    // Bounded admission: shed before the WAL append so a refused batch
+    // leaves no trace anywhere.
+    if entry.stats().pending + batch > MAX_PENDING_OPS {
+        return err(
+            429,
+            format!(
+                "mutation queue for `{name}` is full ({MAX_PENDING_OPS} ops); retry after a rebuild"
+            ),
+        );
+    }
+    // WAL-before-acknowledge: an error here means the batch is *not*
+    // accepted (nothing was buffered) and the writer is wedged until the
+    // next checkpoint installs a fresh log.
+    if let Err(e) = entry.commit_ops(ops) {
+        return err(500, format!("write-ahead log append failed: {e}"));
+    }
     let rebuilt = force || entry.rebuild_due();
     if rebuilt {
         entry.rebuild();
+    }
+    // Automatic checkpoint cadence: once enough operations have been
+    // acknowledged since the last era, fold and snapshot. Failure is not
+    // fatal to the batch — the WAL still covers it — but is reported.
+    let mut checkpointed = false;
+    if let Some(durability) = &ctx.durability {
+        if entry.ops_since_checkpoint() >= CHECKPOINT_OPS {
+            match durability.checkpoint(name, &mut entry) {
+                Ok(()) => checkpointed = true,
+                Err(e) => eprintln!("parcom-serve: auto-checkpoint of `{name}` failed: {e}"),
+            }
+        }
     }
     let stats = entry.stats();
     drop(entry);
@@ -258,8 +368,9 @@ fn edge_batch(store: &GraphStore, name: &str, body: &[u8]) -> Reply {
     out.push_str("{\"schema\":");
     json::write_str(&mut out, SCHEMA);
     out.push_str(&format!(
-        ",\"accepted\":{pending},\"rebuilt\":{rebuilt},\"pending\":{},\"generation\":{},\"nodes\":{},\"edges\":{}}}",
-        stats.pending, stats.generation, stats.nodes, stats.edges
+        ",\"accepted\":{batch},\"rebuilt\":{rebuilt},\"pending\":{},\"generation\":{},\"nodes\":{},\"edges\":{},\"seq\":{},\"durable\":{},\"checkpointed\":{checkpointed},\"relabeled\":{},\"relabel_dropped\":{}}}",
+        stats.pending, stats.generation, stats.nodes, stats.edges, stats.seq, stats.durable,
+        stats.relabeled, stats.relabel_dropped
     ));
     (200, out)
 }

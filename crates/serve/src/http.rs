@@ -206,10 +206,20 @@ fn status_text(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// Shed responses (`429` overload, `503` not-ready/draining) carry a
+/// `Retry-After` so well-behaved clients back off instead of hammering.
+fn retry_after(status: u16) -> &'static str {
+    match status {
+        429 | 503 => "Retry-After: 1\r\n",
+        _ => "",
     }
 }
 
@@ -222,9 +232,10 @@ pub fn respond_json(
 ) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         status_text(status),
         body.len(),
+        retry_after(status),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
     w.write_all(body.as_bytes())?;
@@ -237,8 +248,9 @@ pub fn respond_json(
 pub fn respond_chunked_json(w: &mut dyn Write, status: u16, body: &str) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n{}Connection: keep-alive\r\n\r\n",
         status_text(status),
+        retry_after(status),
     )?;
     for chunk in body.as_bytes().chunks(CHUNK_BYTES) {
         write!(w, "{:x}\r\n", chunk.len())?;

@@ -1,4 +1,12 @@
-#![forbid(unsafe_code)]
+// The workspace-wide no-unsafe rule, with one audited exception: the
+// `signals` feature compiles `src/signal.rs`, which declares the C
+// `signal(2)` entry point for graceful-shutdown capture (DESIGN.md §16).
+// `forbid` cannot be lifted even by that one module, so the feature swaps
+// it for `deny`, which `signal.rs` alone is allowed to lift; every other
+// module stays unsafe-free under both lints, and `parcom-audit` flags any
+// unsafe outside the allowlisted file.
+#![cfg_attr(not(feature = "signals"), forbid(unsafe_code))]
+#![cfg_attr(feature = "signals", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 //! # parcom-serve — the resident clustering daemon
@@ -24,20 +32,38 @@
 //!   periodic CSR rebuild ([`store::REBUILD_BATCH`]); detection snapshots
 //!   always flush first, so results reflect every acknowledged edit.
 //!
+//! With `--state-dir` the daemon is **crash-safe** (DESIGN.md §16): every
+//! accepted batch is appended to a per-graph write-ahead log ([`wal`])
+//! before it is acknowledged, graphs are periodically checkpointed to
+//! `.pcg` snapshots ([`persist`]), and boot-time recovery replays the log
+//! tail against the last checkpoint — bit-identical to having applied
+//! every batch synchronously. Overload and lifecycle are governed by the
+//! admission [`gate`]: bounded detect concurrency (`429`), bounded
+//! per-graph mutation queues (`429`), `503` until recovery completes and
+//! while draining for shutdown, `GET /healthz` / `GET /readyz` probes.
+//!
 //! Threading model: one acceptor per listener, one thread per connection,
 //! plus one short-lived watcher thread per in-flight detection. The store
 //! itself is two-level locked (map lock for lookup, per-entry mutex for
 //! mutation) so a rebuild of one graph never blocks requests to another.
 
 pub mod conn;
+pub mod gate;
 pub mod http;
+pub mod persist;
 pub mod store;
+pub mod wal;
 
 pub mod handlers;
 
+#[cfg(feature = "signals")]
+pub mod signal;
+
 use conn::{Conn, DisconnectWatch};
+use gate::Gate;
 use http::{error_body, respond_chunked_json, respond_json, ReadError, RequestReader};
 use parcom_guard::{Budget, CancelToken};
+use persist::Durability;
 use std::io;
 use std::net::TcpListener;
 #[cfg(unix)]
@@ -45,13 +71,25 @@ use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+use wal::FsyncPolicy;
 
 use store::GraphStore;
 
 /// Idle keep-alive timeout between requests on one connection.
 const KEEP_ALIVE: Duration = Duration::from_secs(60);
 
-/// Daemon configuration: where to listen and how much graph to admit.
+/// Default cap on concurrent detections. Detections are internally
+/// parallel; more than a few running at once thrash the same cores, so
+/// excess requests are shed with `429` instead of queued.
+pub const DEFAULT_MAX_DETECTS: usize = 4;
+
+/// How long a graceful shutdown waits for in-flight requests to finish
+/// before flushing and exiting anyway.
+#[cfg(feature = "signals")]
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Daemon configuration: where to listen, how much graph to admit, and
+/// whether (and how durably) to persist state.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Unix-domain socket path to listen on (removed and re-bound at
@@ -63,6 +101,13 @@ pub struct ServeConfig {
     pub max_nodes: usize,
     /// Ingest admission cap on edge count (`usize::MAX` = unlimited).
     pub max_edges: usize,
+    /// State directory for WALs and checkpoints; `None` runs volatile.
+    pub state_dir: Option<PathBuf>,
+    /// When WAL appends reach stable storage (only meaningful with a
+    /// state dir).
+    pub fsync: FsyncPolicy,
+    /// Cap on concurrent detections (`0` = unlimited).
+    pub max_detects: usize,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +117,9 @@ impl Default for ServeConfig {
             addr: None,
             max_nodes: usize::MAX,
             max_edges: usize::MAX,
+            state_dir: None,
+            fsync: FsyncPolicy::Always,
+            max_detects: DEFAULT_MAX_DETECTS,
         }
     }
 }
@@ -88,6 +136,19 @@ impl ServeConfig {
     }
 }
 
+/// Everything a request handler can reach: the store, the configuration,
+/// the admission gate, and (with `--state-dir`) the durability layer.
+pub struct ServerCtx {
+    /// The resident graph registry.
+    pub store: Arc<GraphStore>,
+    /// The daemon configuration.
+    pub config: ServeConfig,
+    /// Admission gate: readiness, draining, concurrency caps.
+    pub gate: Arc<Gate>,
+    /// WAL + checkpoint layer; `None` without `--state-dir`.
+    pub durability: Option<Arc<Durability>>,
+}
+
 enum Listener {
     Tcp(TcpListener),
     #[cfg(unix)]
@@ -96,15 +157,17 @@ enum Listener {
 
 /// A bound (but not yet serving) daemon.
 pub struct Server {
-    config: ServeConfig,
-    store: Arc<GraphStore>,
+    ctx: Arc<ServerCtx>,
     listeners: Vec<Listener>,
 }
 
 impl Server {
-    /// Binds every listener named by `config`. At least one of `socket` /
-    /// `addr` must be set. A stale socket file from a previous run is
-    /// removed before binding.
+    /// Binds every listener named by `config` and opens the state
+    /// directory when one is configured. At least one of `socket` / `addr`
+    /// must be set. A stale socket file from a previous run is removed
+    /// before binding. Recovery does *not* run here — it runs (in the
+    /// background) inside [`Server::run`], and the gate answers `503`
+    /// until it completes.
     pub fn bind(config: ServeConfig) -> io::Result<Self> {
         let mut listeners = Vec::new();
         if let Some(addr) = &config.addr {
@@ -130,9 +193,18 @@ impl Server {
                 "serve needs a socket path or a TCP address to listen on",
             ));
         }
+        let durability = match &config.state_dir {
+            Some(dir) => Some(Arc::new(Durability::open(dir, config.fsync)?)),
+            None => None,
+        };
+        let gate = Arc::new(Gate::new(config.max_detects));
         Ok(Self {
-            config,
-            store: Arc::new(GraphStore::new()),
+            ctx: Arc::new(ServerCtx {
+                store: Arc::new(GraphStore::new()),
+                config,
+                gate,
+                durability,
+            }),
             listeners,
         })
     }
@@ -140,7 +212,12 @@ impl Server {
     /// The shared store — exposed so embedders (tests, benches) can
     /// pre-load graphs without going through the API.
     pub fn store(&self) -> Arc<GraphStore> {
-        Arc::clone(&self.store)
+        Arc::clone(&self.ctx.store)
+    }
+
+    /// The shared request context.
+    pub fn ctx(&self) -> Arc<ServerCtx> {
+        Arc::clone(&self.ctx)
     }
 
     /// The first bound TCP address, when listening on TCP — lets callers
@@ -154,17 +231,60 @@ impl Server {
     }
 
     /// Serves forever: accepts on every bound listener, one thread per
-    /// connection. Only returns if *all* accept loops fail.
+    /// connection, with recovery running in the background until the gate
+    /// turns ready. Only returns if *all* accept loops fail.
     pub fn run(self) -> io::Result<()> {
-        let Server {
-            config,
-            store,
-            listeners,
-        } = self;
+        let Server { ctx, listeners } = self;
+
+        // Recovery runs concurrently with accepting: probes get answered
+        // immediately (`/readyz` is 503 until the store is rebuilt), and
+        // the moment recovery finishes the gate flips and requests flow.
+        // Without a state dir there is nothing to recover — turn ready
+        // before the first accept so no request can ever see a 503.
+        if ctx.durability.is_some() {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("parcom-serve-recover".into())
+                .spawn(move || {
+                    if let Some(durability) = &ctx.durability {
+                        let started = std::time::Instant::now();
+                        match durability.recover(&ctx.store) {
+                            Ok(report) => eprintln!(
+                                "parcom-serve: recovered {} graph(s), {} record(s) replayed \
+                                 ({} warm, {} torn, {} fallback) in {:.1} ms",
+                                report.graphs,
+                                report.records_replayed,
+                                report.warm,
+                                report.torn_tails,
+                                report.fallbacks,
+                                started.elapsed().as_secs_f64() * 1e3
+                            ),
+                            Err(e) => eprintln!("parcom-serve: recovery failed: {e}"),
+                        }
+                    }
+                    ctx.gate.set_ready();
+                })?;
+        } else {
+            ctx.gate.set_ready();
+        }
+
+        #[cfg(feature = "signals")]
+        {
+            signal::install();
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("parcom-serve-shutdown".into())
+                .spawn(move || loop {
+                    if signal::requested() {
+                        shutdown(&ctx);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                })?;
+        }
+
         let mut handles = Vec::new();
         for listener in listeners {
-            let store = Arc::clone(&store);
-            let config = config.clone();
+            let ctx = Arc::clone(&ctx);
             handles.push(
                 std::thread::Builder::new()
                     .name("parcom-serve-accept".into())
@@ -177,11 +297,10 @@ impl Server {
                                     let _ = s.set_nodelay(true);
                                 })
                             }),
-                            store,
-                            config,
+                            ctx,
                         ),
                         #[cfg(unix)]
-                        Listener::Unix(l) => accept_loop(l.incoming(), store, config),
+                        Listener::Unix(l) => accept_loop(l.incoming(), ctx),
                     })?,
             );
         }
@@ -192,27 +311,47 @@ impl Server {
     }
 }
 
-fn accept_loop<S, I>(incoming: I, store: Arc<GraphStore>, config: ServeConfig)
+/// The graceful-shutdown sequence (SIGTERM/SIGINT, DESIGN.md §16): stop
+/// admitting, drain in-flight requests (bounded by [`DRAIN_TIMEOUT`]),
+/// flush every WAL, checkpoint every dirty graph, exit.
+#[cfg(feature = "signals")]
+fn shutdown(ctx: &ServerCtx) -> ! {
+    eprintln!("parcom-serve: shutdown requested, draining");
+    ctx.gate.start_drain();
+    let deadline = std::time::Instant::now() + DRAIN_TIMEOUT;
+    while ctx.gate.inflight() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if let Some(durability) = &ctx.durability {
+        let done = durability.checkpoint_all(&ctx.store);
+        eprintln!("parcom-serve: flushed WALs, checkpointed {done} graph(s)");
+    }
+    if let Some(path) = &ctx.config.socket {
+        let _ = std::fs::remove_file(path);
+    }
+    std::process::exit(0);
+}
+
+fn accept_loop<S, I>(incoming: I, ctx: Arc<ServerCtx>)
 where
     S: Conn + 'static,
     I: Iterator<Item = io::Result<S>>,
 {
     for stream in incoming {
         let Ok(stream) = stream else { continue };
-        let store = Arc::clone(&store);
-        let config = config.clone();
+        let ctx = Arc::clone(&ctx);
         let _ = std::thread::Builder::new()
             .name("parcom-serve-conn".into())
             .spawn(move || {
                 let mut boxed: Box<dyn Conn> = Box::new(stream);
-                serve_connection(&mut boxed, &store, &config);
+                serve_connection(&mut boxed, &ctx);
             });
     }
 }
 
 /// Runs the keep-alive request loop of one connection until the client
 /// closes, asks to close, or errors.
-fn serve_connection(conn: &mut Box<dyn Conn>, store: &GraphStore, config: &ServeConfig) {
+fn serve_connection(conn: &mut Box<dyn Conn>, ctx: &ServerCtx) {
     let mut reader = RequestReader::new();
     loop {
         if conn.set_read_timeout_conn(Some(KEEP_ALIVE)).is_err() {
@@ -227,18 +366,65 @@ fn serve_connection(conn: &mut Box<dyn Conn>, store: &GraphStore, config: &Serve
             }
         };
         let close = request.wants_close();
-        let ok = if request.method == "POST" && request.path == "/detect" {
-            // Wire the cancel token to a disconnect watcher before the
-            // detection starts, so a client hang-up aborts the compute.
-            let token = CancelToken::new();
-            let watch = DisconnectWatch::spawn(&**conn, token.clone());
-            let (status, body) = handlers::detect(store, &request.body, token);
-            if let Ok(watch) = watch {
-                reader.push_back(&watch.finish());
-            }
-            respond_chunked_json(&mut **conn, status, &body).is_ok()
+
+        // Health probes bypass admission entirely; everything else is
+        // refused while recovery runs or a drain is in progress.
+        let probe =
+            request.method == "GET" && matches!(request.path.as_str(), "/healthz" | "/readyz");
+        let _permit = if probe {
+            None
         } else {
-            let (status, body) = handlers::handle(store, config, &request);
+            if !ctx.gate.is_ready() {
+                let ok = respond_json(
+                    &mut **conn,
+                    503,
+                    &error_body("recovery in progress; retry shortly"),
+                    !close,
+                )
+                .is_ok();
+                if !ok || close {
+                    return;
+                }
+                continue;
+            }
+            match ctx.gate.enter_request() {
+                Some(permit) => Some(permit),
+                None => {
+                    let _ = respond_json(
+                        &mut **conn,
+                        503,
+                        &error_body("daemon is draining for shutdown"),
+                        false,
+                    );
+                    return;
+                }
+            }
+        };
+
+        let ok = if request.method == "POST" && request.path == "/detect" {
+            match ctx.gate.enter_detect() {
+                None => {
+                    let body = error_body(&format!(
+                        "detect concurrency cap ({}) reached; retry shortly",
+                        ctx.gate.max_detects()
+                    ));
+                    respond_json(&mut **conn, 429, &body, !close).is_ok()
+                }
+                Some(_detect_permit) => {
+                    // Wire the cancel token to a disconnect watcher before
+                    // the detection starts, so a client hang-up aborts the
+                    // compute.
+                    let token = CancelToken::new();
+                    let watch = DisconnectWatch::spawn(&**conn, token.clone());
+                    let (status, body) = handlers::detect(&ctx.store, &request.body, token);
+                    if let Ok(watch) = watch {
+                        reader.push_back(&watch.finish());
+                    }
+                    respond_chunked_json(&mut **conn, status, &body).is_ok()
+                }
+            }
+        } else {
+            let (status, body) = handlers::handle(ctx, &request);
             respond_json(&mut **conn, status, &body, !close).is_ok()
         };
         if !ok || close {

@@ -8,15 +8,31 @@
 //! when a client forces it, or — always — before a detection snapshot, so
 //! every detection sees all acknowledged edits.
 
+use crate::wal::WalWriter;
 use parcom_graph::relabel::Relabeling;
 use parcom_graph::{Graph, GraphBuilder, Node};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Pending-operation count that triggers an automatic rebuild at the end of
 /// an edge-batch request. Large enough to amortize the O(n + m) CSR
 /// rebuild over many small batches, small enough to keep the fold cheap.
 pub const REBUILD_BATCH: usize = 4096;
+
+/// Hard cap on one entry's buffered operations: a request that would push
+/// the buffer past this is shed with `429` instead of queued (the bounded
+/// admission half of DESIGN.md §16). Since rebuilds fire at
+/// [`REBUILD_BATCH`], only a single oversized batch can approach the cap.
+pub const MAX_PENDING_OPS: usize = 4 * REBUILD_BATCH;
+
+/// Locks an entry, tolerating poisoning. Every [`GraphEntry`] mutator
+/// either commits no state on unwind ([`GraphEntry::rebuild`] builds the
+/// new CSR before touching any field) or fails stop (a WAL append wedges
+/// its writer), so a panicking request thread leaves the entry consistent
+/// and later requests may keep serving it.
+pub fn lock_entry(entry: &Mutex<GraphEntry>) -> MutexGuard<'_, GraphEntry> {
+    entry.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One buffered mutation. Operations are kept in arrival order so that
 /// within a window, later operations on an edge override earlier ones
@@ -42,6 +58,20 @@ pub struct GraphEntry {
     /// with the graph version they ran against.
     generation: u64,
     rebuilds: u64,
+    /// Sequence number of the last acknowledged batch: the WAL record
+    /// sequence when durable, a plain batch counter otherwise.
+    seq: u64,
+    /// The write-ahead log this entry appends to before acknowledging a
+    /// batch; `None` when the daemon runs without `--state-dir`.
+    wal: Option<WalWriter>,
+    /// Sticky flag: a rebuild dropped the relabeling permutation (the
+    /// mutated CSR no longer matches its degree order). Reported in batch
+    /// responses and stats so the 1.1–1.3× relabel win never vanishes
+    /// silently.
+    relabel_dropped: bool,
+    /// Operations folded in since the last checkpoint; drives the
+    /// automatic checkpoint cadence.
+    ops_since_checkpoint: usize,
 }
 
 /// A point-in-time summary of one entry, for listings.
@@ -58,30 +88,103 @@ pub struct EntryStats {
     pub rebuilds: u64,
     /// Whether the resident CSR is a relabeled (cache-ordered) view.
     pub relabeled: bool,
+    /// Whether a rebuild dropped a relabeling this entry once had.
+    pub relabel_dropped: bool,
+    /// Sequence of the last acknowledged batch (WAL record when durable).
+    pub seq: u64,
+    /// Whether the entry appends to a write-ahead log.
+    pub durable: bool,
+}
+
+/// Canonicalizes one operation's endpoint order so fold keys match the
+/// CSR's `u <= v` edge orientation — applied before WAL append, so the log
+/// stores exactly what the buffer holds.
+fn canonical(op: EdgeOp) -> EdgeOp {
+    match op {
+        EdgeOp::Insert(u, v, w) => EdgeOp::Insert(u.min(v), u.max(v), w),
+        EdgeOp::Remove(u, v) => EdgeOp::Remove(u.min(v), u.max(v)),
+    }
 }
 
 impl GraphEntry {
-    fn new(graph: Graph, relabeling: Option<Relabeling>) -> Self {
+    /// A fresh entry at sequence 0 with no log attached. Public so the
+    /// durability layer can persist an entry *before* it becomes visible
+    /// in the store.
+    pub fn new(graph: Graph, relabeling: Option<Relabeling>) -> Self {
         Self {
             graph: Arc::new(graph),
             relabeling: relabeling.map(Arc::new),
             pending: Vec::new(),
             generation: 0,
             rebuilds: 0,
+            seq: 0,
+            wal: None,
+            relabel_dropped: false,
+            ops_since_checkpoint: 0,
         }
     }
 
     /// Appends a batch of operations, canonicalizing endpoint order so the
     /// fold's keys match the CSR's `u <= v` edge orientation. Returns the
-    /// pending count after the append.
+    /// pending count after the append. Low-level: does *not* touch the WAL
+    /// or the sequence — recovery replay and tests use it directly; the
+    /// request path goes through [`GraphEntry::commit_ops`].
     pub fn buffer_ops(&mut self, ops: impl IntoIterator<Item = EdgeOp>) -> usize {
         for op in ops {
-            self.pending.push(match op {
-                EdgeOp::Insert(u, v, w) => EdgeOp::Insert(u.min(v), u.max(v), w),
-                EdgeOp::Remove(u, v) => EdgeOp::Remove(u.min(v), u.max(v)),
-            });
+            self.pending.push(canonical(op));
         }
         self.pending.len()
+    }
+
+    /// The durable batch path: canonicalizes, appends one WAL record (when
+    /// a log is attached) and only then buffers — so by the time the batch
+    /// is acknowledged it is already on disk. On a WAL error *nothing* is
+    /// buffered and the error propagates (the writer wedges itself;
+    /// DESIGN.md §16).
+    pub fn commit_ops(&mut self, ops: Vec<EdgeOp>) -> std::io::Result<usize> {
+        let ops: Vec<EdgeOp> = ops.into_iter().map(canonical).collect();
+        match &mut self.wal {
+            Some(wal) => self.seq = wal.append(&ops)?,
+            None => self.seq += 1,
+        }
+        self.ops_since_checkpoint += ops.len();
+        self.pending.extend(ops);
+        Ok(self.pending.len())
+    }
+
+    /// Attaches the write-ahead log this entry will append to. The log's
+    /// last sequence must equal the entry's (a fresh log is created at the
+    /// entry's checkpoint sequence).
+    pub fn attach_wal(&mut self, wal: WalWriter) {
+        debug_assert_eq!(wal.last_seq(), self.seq);
+        self.wal = Some(wal);
+        self.ops_since_checkpoint = 0;
+    }
+
+    /// Sequence of the last acknowledged batch.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Overrides the sequence counter — recovery replay only, where the
+    /// sequence comes from the checkpoint header and the replayed records.
+    pub fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
+    /// Operations folded in since the last checkpoint (drives the
+    /// automatic checkpoint cadence).
+    pub fn ops_since_checkpoint(&self) -> usize {
+        self.ops_since_checkpoint
+    }
+
+    /// Flushes the attached log to disk regardless of fsync policy — the
+    /// graceful-shutdown path.
+    pub fn sync_wal(&mut self) -> std::io::Result<()> {
+        match &mut self.wal {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
     }
 
     /// Whether the buffer has reached the automatic rebuild threshold.
@@ -93,6 +196,15 @@ impl GraphEntry {
     /// touched edge is resolved in arrival order first, then applied in one
     /// pass over the collected edge set; node ids beyond the current range
     /// grow the graph. No-op when the buffer is empty.
+    ///
+    /// Unwind-safe: every field mutation happens *after* the new CSR is
+    /// fully built, so a panic mid-rebuild (allocation failure, injected
+    /// fault at `serve/store-rebuild`) leaves the resident graph, the
+    /// pending buffer and the WAL exactly as they were — the rebuild can
+    /// simply be retried. The rebuilt CSR is bit-identical for a given
+    /// (graph, buffered-op-sequence) pair regardless of thread count or
+    /// rebuild batching, because the builder canonicalizes rows by
+    /// `(neighbor, weight bits)`; recovery replay relies on this.
     pub fn rebuild(&mut self) {
         if self.pending.is_empty() {
             return;
@@ -101,8 +213,8 @@ impl GraphEntry {
         let mut delta: HashMap<(Node, Node), Option<f64>> =
             HashMap::with_capacity(self.pending.len());
         let mut max_node: Node = 0;
-        for op in self.pending.drain(..) {
-            match op {
+        for op in &self.pending {
+            match *op {
                 EdgeOp::Insert(u, v, w) => {
                     max_node = max_node.max(v);
                     delta.insert((u, v), Some(w));
@@ -117,7 +229,7 @@ impl GraphEntry {
         // un-relabeled before the fold and the relabeling dropped: the
         // permutation is a load-time read optimization, and a mutated graph
         // no longer matches the degree order it was converted under.
-        if let Some(r) = self.relabeling.take() {
+        if let Some(r) = &self.relabeling {
             for e in edges.iter_mut() {
                 let (u, v) = (r.to_old_id(e.0), r.to_old_id(e.1));
                 (e.0, e.1) = (u.min(v), u.max(v));
@@ -141,7 +253,14 @@ impl GraphEntry {
         let n = self.graph.node_count().max(max_node as usize + 1);
         let mut builder = GraphBuilder::with_capacity(n, edges.len());
         builder.extend_edges(edges);
-        self.graph = Arc::new(builder.build());
+        parcom_guard::faultpoint!("serve/store-rebuild");
+        let rebuilt = builder.build();
+        // Commit point: nothing above mutated the entry.
+        if self.relabeling.take().is_some() {
+            self.relabel_dropped = true;
+        }
+        self.pending.clear();
+        self.graph = Arc::new(rebuilt);
         self.generation += 1;
         self.rebuilds += 1;
     }
@@ -165,6 +284,9 @@ impl GraphEntry {
             generation: self.generation,
             rebuilds: self.rebuilds,
             relabeled: self.relabeling.is_some(),
+            relabel_dropped: self.relabel_dropped,
+            seq: self.seq,
+            durable: self.wal.is_some(),
         }
     }
 }
@@ -188,13 +310,17 @@ impl GraphStore {
     /// alongside it when the graph is a relabeled view. Returns whether a
     /// previous graph of that name was replaced.
     pub fn insert(&self, name: &str, graph: Graph, relabeling: Option<Relabeling>) -> bool {
+        self.insert_entry(name, GraphEntry::new(graph, relabeling))
+    }
+
+    /// Inserts (or replaces) a pre-built entry — the durability layer
+    /// persists an entry (checkpoint + fresh WAL) *before* handing it over,
+    /// so a graph is never visible in the store without its on-disk state.
+    pub fn insert_entry(&self, name: &str, entry: GraphEntry) -> bool {
         self.inner
             .write()
             .unwrap()
-            .insert(
-                name.to_string(),
-                Arc::new(Mutex::new(GraphEntry::new(graph, relabeling))),
-            )
+            .insert(name.to_string(), Arc::new(Mutex::new(entry)))
             .is_some()
     }
 
@@ -217,7 +343,7 @@ impl GraphStore {
     /// snapshots keep running.
     pub fn snapshot(&self, name: &str) -> Option<(Arc<Graph>, Option<Arc<Relabeling>>, u64)> {
         let entry = self.get(name)?;
-        let mut entry = entry.lock().unwrap();
+        let mut entry = lock_entry(&entry);
         entry.rebuild();
         Some(entry.current())
     }
@@ -229,7 +355,7 @@ impl GraphStore {
             .read()
             .unwrap()
             .iter()
-            .map(|(name, entry)| (name.clone(), entry.lock().unwrap().stats()))
+            .map(|(name, entry)| (name.clone(), lock_entry(entry).stats()))
             .collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         rows

@@ -5,128 +5,11 @@
 
 #![cfg(unix)]
 
+mod util;
+
 use parcom_obs::json::{self, Value};
 use parcom_serve::{ServeConfig, Server};
-use std::io::{Read, Write};
-use std::os::unix::net::UnixStream;
-use std::path::PathBuf;
-
-/// A minimal HTTP/1.1 client over one keep-alive connection, understanding
-/// both Content-Length and chunked framing.
-struct Client {
-    stream: UnixStream,
-    buf: Vec<u8>,
-}
-
-impl Client {
-    fn connect(socket: &PathBuf) -> Self {
-        let mut last_err = None;
-        for _ in 0..100 {
-            match UnixStream::connect(socket) {
-                Ok(stream) => {
-                    return Self {
-                        stream,
-                        buf: Vec::new(),
-                    }
-                }
-                Err(e) => {
-                    last_err = Some(e);
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                }
-            }
-        }
-        panic!("daemon never came up: {last_err:?}");
-    }
-
-    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Value) {
-        write!(
-            self.stream,
-            "{method} {path} HTTP/1.1\r\nHost: parcom\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        )
-        .unwrap();
-        self.stream.flush().unwrap();
-        self.read_response()
-    }
-
-    fn fill(&mut self) {
-        let mut chunk = [0u8; 4096];
-        let n = self.stream.read(&mut chunk).unwrap();
-        assert!(n > 0, "server closed mid-response");
-        self.buf.extend_from_slice(&chunk[..n]);
-    }
-
-    fn take(&mut self, n: usize) -> Vec<u8> {
-        while self.buf.len() < n {
-            self.fill();
-        }
-        self.buf.drain(..n).collect()
-    }
-
-    fn take_line(&mut self) -> String {
-        loop {
-            if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
-                let line = String::from_utf8(self.buf.drain(..pos + 2).collect()).unwrap();
-                return line.trim_end().to_string();
-            }
-            self.fill();
-        }
-    }
-
-    fn read_response(&mut self) -> (u16, Value) {
-        let status_line = self.take_line();
-        let status: u16 = status_line
-            .split(' ')
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
-        let mut content_length = None;
-        let mut chunked = false;
-        loop {
-            let line = self.take_line();
-            if line.is_empty() {
-                break;
-            }
-            let (name, value) = line.split_once(':').unwrap();
-            match name.to_ascii_lowercase().as_str() {
-                "content-length" => content_length = Some(value.trim().parse::<usize>().unwrap()),
-                "transfer-encoding" => chunked = value.trim().eq_ignore_ascii_case("chunked"),
-                _ => {}
-            }
-        }
-        let body = if chunked {
-            let mut body = Vec::new();
-            loop {
-                let size_line = self.take_line();
-                let size = usize::from_str_radix(&size_line, 16).unwrap();
-                if size == 0 {
-                    assert_eq!(self.take_line(), "");
-                    break;
-                }
-                body.extend(self.take(size));
-                assert_eq!(self.take_line(), "");
-            }
-            body
-        } else {
-            self.take(content_length.expect("response without framing"))
-        };
-        let text = String::from_utf8(body).unwrap();
-        let value = json::parse(&text).unwrap_or_else(|e| panic!("bad body `{text}`: {e}"));
-        (status, value)
-    }
-}
-
-fn get_u64(v: &Value, key: &str) -> u64 {
-    v.get(key)
-        .and_then(Value::as_u64)
-        .unwrap_or_else(|| panic!("missing numeric `{key}`"))
-}
-
-fn get_str<'a>(v: &'a Value, key: &str) -> &'a str {
-    v.get(key)
-        .and_then(Value::as_str)
-        .unwrap_or_else(|| panic!("missing string `{key}`"))
-}
+use util::{get_str, get_u64, Client};
 
 #[test]
 fn full_lifecycle_over_unix_socket() {

@@ -1,0 +1,140 @@
+//! Tier-1 durability integration test — no fault-injection features
+//! required. Exercises the durable daemon lifecycle end-to-end over a
+//! Unix socket: readiness probes, WAL-before-ack acknowledgements, the
+//! explicit checkpoint endpoint, bounded-queue overload shedding, and a
+//! warm restart against the same state directory that must answer a
+//! deterministic detection identically to the pre-restart daemon.
+
+#![cfg(unix)]
+
+mod util;
+
+use parcom_obs::json::Value;
+use parcom_serve::store::MAX_PENDING_OPS;
+use parcom_serve::{ServeConfig, Server};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use util::{get_bool, get_u64, wait_ready, Client};
+
+/// Boots an in-process daemon on `socket`, optionally durable.
+fn boot(socket: &Path, state_dir: Option<&Path>) -> Client {
+    let server = Server::bind(ServeConfig {
+        socket: Some(socket.to_path_buf()),
+        state_dir: state_dir.map(Path::to_path_buf),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    std::thread::spawn(move || server.run());
+    wait_ready(socket, Duration::from_secs(10))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("parcom_durab_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn durable_lifecycle_probes_shedding_and_warm_restart() {
+    let dir = scratch("lifecycle");
+    let state_dir = dir.join("state");
+    let mut client = boot(&dir.join("a.sock"), Some(&state_dir));
+
+    // Probes: alive, ready, durable.
+    let (status, v) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(get_bool(&v, "ready") && get_bool(&v, "durable"));
+    assert!(!get_bool(&v, "draining"));
+    let (status, v) = client.request("GET", "/readyz", "");
+    assert_eq!(status, 200);
+    assert!(get_bool(&v, "ready"));
+
+    // Loading a graph persists its first checkpoint + empty log.
+    let (g, _) = parcom_generators::ring_of_cliques(4, 5);
+    let (status, v) = client.request("PUT", "/graphs/ring", &util::metis_body(&g));
+    assert_eq!(status, 201, "{v:?}");
+    assert!(get_bool(&v, "durable"));
+    let paths = parcom_io::state_paths(&state_dir, "ring");
+    assert!(paths.pcg.exists() && paths.wal.exists());
+
+    // A batch is WAL-appended before it is acknowledged: the ack carries
+    // the record's sequence number.
+    let (status, v) = client.request(
+        "POST",
+        "/graphs/ring/edges",
+        "{\"insert\":[[0,7,2.5],[3,12,1.5]]}",
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(get_u64(&v, "accepted"), 2);
+    assert_eq!(get_u64(&v, "seq"), 1);
+    assert!(get_bool(&v, "durable"));
+    assert!(!get_bool(&v, "checkpointed"));
+
+    // Overload shedding: one batch that would overflow the bounded
+    // mutation queue is refused with 429 (Retry-After asserted by the
+    // client) and leaves no trace — the sequence number does not move.
+    let rows: Vec<String> = (0..=MAX_PENDING_OPS)
+        .map(|i| format!("[{},{}]", i % 50, 50 + i % 50))
+        .collect();
+    let huge = format!("{{\"insert\":[{}]}}", rows.join(","));
+    let (status, v) = client.request("POST", "/graphs/ring/edges", &huge);
+    assert_eq!(status, 429, "{v:?}");
+    let (status, v) = client.request("GET", "/graphs", "");
+    assert_eq!(status, 200);
+    let listed = v.get("graphs").and_then(Value::as_array).unwrap();
+    assert_eq!(get_u64(&listed[0], "seq"), 1);
+    assert!(get_bool(&listed[0], "durable"));
+
+    // Explicit checkpoint: folds the pending tail and rotates the log.
+    let (status, v) = client.request("POST", "/graphs/ring/checkpoint", "");
+    assert_eq!(status, 200, "{v:?}");
+    assert!(get_bool(&v, "checkpointed"));
+    assert_eq!(get_u64(&v, "seq"), 1);
+    let (status, _) = client.request("POST", "/graphs/nope/checkpoint", "");
+    assert_eq!(status, 404);
+
+    // Deterministic detection answer before the restart.
+    let detect_body =
+        "{\"graph\":\"ring\",\"spec\":\"plm:move=coloring,seed=1\",\"include_partition\":true}";
+    let (status, before) = client.request("POST", "/detect", detect_body);
+    assert_eq!(status, 200, "{before:?}");
+
+    // Warm restart: a second daemon over the same state directory
+    // recovers the graph and answers bit-identically. (The first daemon
+    // stays idle; recovery only reads its files.)
+    let mut client2 = boot(&dir.join("b.sock"), Some(&state_dir));
+    let (status, v) = client2.request("GET", "/graphs", "");
+    assert_eq!(status, 200);
+    let listed = v.get("graphs").and_then(Value::as_array).unwrap();
+    assert_eq!(listed.len(), 1, "{v:?}");
+    assert_eq!(get_u64(&listed[0], "seq"), 1);
+    let (status, after) = client2.request("POST", "/detect", detect_body);
+    assert_eq!(status, 200, "{after:?}");
+    for key in ["nodes", "edges", "communities"] {
+        assert_eq!(get_u64(&before, key), get_u64(&after, key), "{key}");
+    }
+    assert_eq!(
+        before.get("partition").and_then(Value::as_array),
+        after.get("partition").and_then(Value::as_array)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn volatile_daemon_reports_not_durable_and_refuses_checkpoints() {
+    let dir = scratch("volatile");
+    let mut client = boot(&dir.join("v.sock"), None);
+    let (status, v) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(!get_bool(&v, "durable"));
+
+    let (g, _) = parcom_generators::ring_of_cliques(2, 4);
+    let (status, v) = client.request("PUT", "/graphs/tiny", &util::metis_body(&g));
+    assert_eq!(status, 201);
+    assert!(!get_bool(&v, "durable"));
+    let (status, v) = client.request("POST", "/graphs/tiny/checkpoint", "");
+    assert_eq!(status, 409, "{v:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
